@@ -1,0 +1,19 @@
+.PHONY: install test bench repro examples all
+
+install:
+	pip install -e ".[test]"
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+repro:
+	python -m repro all
+	python -m repro library
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex =="; python $$ex; done
+
+all: test bench repro

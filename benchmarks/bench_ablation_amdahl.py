@@ -1,0 +1,60 @@
+"""Ablation — the Eq. 14/17 Amdahl crossover.
+
+Sweeps the workload's serial fraction and reports, for a DVFS-capable
+system, the continuous-optimum processor count at a fixed power budget
+(Eq. 18) and the crossover ``n* = 2(Tt/Ts − 1)``.  Shape: more serial ⇒
+fewer processors and more frequency; perfectly parallel ⇒ processors
+bounded only by the budget.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.core.continuous import optimal_parameters
+from repro.models.performance import PerformanceModel
+from repro.models.power import PowerModel
+from repro.models.voltage import LinearVFMap
+
+SERIAL_FRACTIONS = [0.0, 0.02, 0.05, 0.1, 0.2, 0.4]
+BUDGET_W = 0.5
+
+
+def sweep():
+    vf = LinearVFMap(v_min=0.6, v_max=1.8, slope=100e6, v_threshold=0.3)
+    power = PowerModel(c2=1e-10)
+    rows = []
+    for s in SERIAL_FRACTIONS:
+        perf = PerformanceModel(
+            t_total=1.0, t_serial=s, f_ref=50e6, vf_map=vf
+        )
+        point = optimal_parameters(BUDGET_W, perf, power, n_max=64)
+        n_star = perf.optimal_processor_count
+        rows.append(
+            (
+                s,
+                "inf" if n_star == float("inf") else round(n_star, 1),
+                round(point.n, 2),
+                round(point.f / 1e6, 1),
+                point.regime,
+            )
+        )
+    return rows
+
+
+def bench_ablation_amdahl(benchmark):
+    rows = benchmark(sweep)
+    emit(
+        format_table(
+            ["serial fraction", "n* (Eq.17)", "n chosen", "f (MHz)", "regime"],
+            rows,
+            title=f"Ablation — Amdahl crossover at {BUDGET_W} W (Eq. 18)",
+        )
+    )
+    ns = [r[2] for r in rows]
+    # more serial fraction ⇒ never more processors
+    assert all(b <= a + 1e-9 for a, b in zip(ns, ns[1:]))
+    fs = [r[3] for r in rows]
+    # and the freed budget goes into frequency
+    assert fs[-1] >= fs[0]

@@ -1,0 +1,70 @@
+"""Ablation — communication cost (paper footnote 2).
+
+"The cost of communication is ignored … the simplified model does not
+limit the applicability of the algorithms presented in this paper except
+Equation (18)."  This bench quantifies that exception: with
+scatter/gather riding the FPGA ring, the useful worker count at full
+power is capped below the budgeted count, and past the cap extra
+processors *reduce* throughput while still burning their wattage.
+
+Sweeps the per-worker ring cost and reports, at the flat-out operating
+point, the optimal worker count and the throughput loss of naively using
+all seven.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.workloads.comm import CommAwareTask
+from repro.workloads.taskgraph import fft_task_graph
+
+HOP_COSTS_S = [0.0, 0.02, 0.05, 0.1, 0.2, 0.4]
+F = 80e6
+N_MAX = 7
+
+
+def sweep():
+    rows = []
+    for hop in HOP_COSTS_S:
+        task = CommAwareTask(
+            fft_task_graph(2048, serial_fraction=0.10), f_ref=20e6, comm_hop_s=hop
+        )
+        n_opt = task.optimal_workers(F, N_MAX)
+        tp_opt = task.throughput(n_opt, F)
+        tp_all = task.throughput(N_MAX, F)
+        rows.append(
+            (
+                hop,
+                n_opt,
+                round(tp_opt, 3),
+                round(tp_all, 3),
+                round(100 * (1 - tp_all / tp_opt), 1),
+            )
+        )
+    return rows
+
+
+def bench_ablation_comm(benchmark):
+    rows = benchmark(sweep)
+    emit(
+        format_table(
+            [
+                "ring hop cost (s)",
+                "optimal n",
+                "throughput@n_opt (ev/s)",
+                "throughput@7 (ev/s)",
+                "naive-7 loss (%)",
+            ],
+            rows,
+            title="Ablation — communication cost on the ring (footnote 2), 80 MHz",
+        )
+    )
+    n_opts = [r[1] for r in rows]
+    # free communication wants everything; costs cap the pool monotonically
+    assert n_opts[0] == N_MAX
+    assert all(b <= a for a, b in zip(n_opts, n_opts[1:]))
+    assert n_opts[-1] < N_MAX
+    # using all seven despite heavy comm costs real throughput
+    assert rows[-1][4] > 5.0

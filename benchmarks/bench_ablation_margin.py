@@ -1,0 +1,74 @@
+"""Ablation — supply-margin robustness (extension).
+
+Planning against a derated charging forecast hedges forecast risk: the
+real supply then arrives as surplus Algorithm 3 spends safely.  This
+bench runs the manager on scenario I with the *actual* supply 25% below
+the (undecorated) forecast, sweeping the planning margin.  Shape: tighter
+margins cut undersupply monotonically toward zero; the cost is delivered
+energy left on the table when the forecast was actually right.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.core.manager import DynamicPowerManager
+from repro.models.battery import Battery
+from repro.scenarios.paper import pama_frontier
+
+MARGINS = [1.0, 0.9, 0.8, 0.7]
+ACTUAL_FACTOR = 0.75  # the real panel output vs. the raw forecast
+N_PERIODS = 3
+
+
+def run_with_margin(sc1, frontier, margin: float, actual_factor: float):
+    manager = DynamicPowerManager(
+        sc1.charging,
+        sc1.event_demand,
+        sc1.weight(),
+        frontier=frontier,
+        spec=sc1.spec,
+        supply_margin=margin,
+    )
+    manager.start()
+    battery = Battery(sc1.spec)
+    tau = sc1.grid.tau
+    n = sc1.grid.n_slots
+    for k in range(N_PERIODS * n):
+        point = manager.decide()
+        supplied = sc1.charging[k % n] * actual_factor
+        step = battery.step(supplied, point.power, tau)
+        manager.advance(used_power=step.drawn / tau, supplied_power=supplied)
+    return battery
+
+
+def sweep(sc1, frontier):
+    rows = []
+    for margin in MARGINS:
+        b = run_with_margin(sc1, frontier, margin, ACTUAL_FACTOR)
+        rows.append(
+            (margin, b.total_undersupplied, b.total_wasted, b.total_drawn)
+        )
+    return rows
+
+
+def bench_ablation_margin(benchmark, sc1, frontier):
+    rows = benchmark(sweep, sc1, frontier)
+    emit(
+        format_table(
+            ["planning margin", "undersupplied (J)", "wasted (J)", "delivered (J)"],
+            rows,
+            title=(
+                "Ablation — supply-margin hedge "
+                f"(actual supply at {ACTUAL_FACTOR:.0%} of forecast, "
+                f"{N_PERIODS} periods)"
+            ),
+        )
+    )
+    under = [r[1] for r in rows]
+    # tighter margins never increase undersupply, and derating at/below
+    # the actual shortfall (0.7 ≤ 0.75) essentially eliminates it
+    assert all(b <= a + 1e-6 for a, b in zip(under, under[1:]))
+    assert under[-1] < max(under[0], 1.0) / 2 + 1e-9

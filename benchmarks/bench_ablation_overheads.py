@@ -1,0 +1,63 @@
+"""Ablation — switching overheads (Algorithm 2 lines 14–22).
+
+The paper's evaluation assumes free switching ("we assumed no overheads
+for changing the number of processors and frequency"); the algorithm's
+gating only matters when OH_n/OH_f are nonzero.  This bench sweeps the
+per-change energy and reports switch counts and delivered performance:
+as overheads grow the plan must switch less, trading a little performance
+for the saved transition energy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.core.allocation import allocate
+from repro.core.parameters import SwitchingOverheads, plan_parameters
+from repro.core.wpuf import desired_usage
+
+
+OVERHEADS_J = [0.0, 0.05, 0.2, 0.8, 3.2]
+
+
+def sweep(sc1, frontier):
+    u_new = desired_usage(sc1.event_demand, sc1.weight(), sc1.charging)
+    alloc = allocate(sc1.charging, u_new, sc1.spec, usage_ceiling=frontier.max_power)
+    pinit = np.tile(alloc.usage.values, 4)  # 4 periods to expose steady state
+    rows = []
+    for oh in OVERHEADS_J:
+        sched = plan_parameters(
+            pinit,
+            frontier,
+            tau=sc1.grid.tau,
+            overheads=SwitchingOverheads(
+                per_processor_change=oh, per_frequency_change=oh
+            ),
+        )
+        rows.append(
+            (
+                oh,
+                sched.switch_count(),
+                sched.total_perf() / 1e6,
+                sched.total_energy(),
+            )
+        )
+    return rows
+
+
+def bench_ablation_overheads(benchmark, sc1, frontier):
+    rows = benchmark(sweep, sc1, frontier)
+    emit(
+        format_table(
+            ["overhead (J/change)", "switches", "perf (M·s)", "energy (J)"],
+            rows,
+            title="Ablation — switching-overhead gating (scenario I, 4 periods)",
+        )
+    )
+    switches = [r[1] for r in rows]
+    # monotone-ish: heavy overheads must reduce switching
+    assert switches[-1] < switches[0]
+    # and free switching must deliver at least as much performance
+    assert rows[0][2] >= rows[-1][2] - 1e-9

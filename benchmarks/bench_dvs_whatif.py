@@ -1,0 +1,97 @@
+"""What-if — voltage scaling on PAMA (the paper's stated future work).
+
+PAMA runs at a fixed 3.3 V; the paper's Section 6 plans voltage scaling.
+This bench builds a hypothetical DVS-enabled PAMA — same chips, but the
+supply can drop to 1.8 V with a linear g(v) that still reaches 80 MHz at
+3.3 V — and compares the operating frontiers: energy per unit performance
+at each frequency, and the Eq. 18 optimal operating points.
+
+Shape: at the low frequencies the paper's power quantum structure makes
+cheap, DVS slashes power quadratically — 20 MHz at ~1.97 V costs ~3×
+less than at 3.3 V — so the DVS frontier dominates the fixed frontier
+at every performance level below the flat-out point.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.core.pareto import OperatingFrontier
+from repro.models.performance import PerformanceModel
+from repro.models.voltage import LinearVFMap
+from repro.scenarios.paper import (
+    FFT_TIME_20MHZ_S,
+    FREQUENCIES_HZ,
+    MHZ,
+    N_WORKERS,
+    SERIAL_FRACTION,
+    pama_performance_model,
+    pama_power_model,
+)
+
+
+def dvs_models():
+    """A hypothetical DVS PAMA: 1.8–3.3 V, g linear, g(3.3) = 80 MHz."""
+    # slope chosen so 3.3 V sustains 80 MHz above a 0.9 V threshold
+    vf = LinearVFMap(v_min=1.8, v_max=3.3, slope=80e6 / (3.3 - 0.9), v_threshold=0.9)
+    perf = PerformanceModel(
+        t_total=FFT_TIME_20MHZ_S,
+        t_serial=SERIAL_FRACTION * FFT_TIME_20MHZ_S,
+        f_ref=20 * MHZ,
+        vf_map=vf,
+    )
+    return perf, pama_power_model(include_standby_floor=False)
+
+
+def build_comparison():
+    fixed_frontier = OperatingFrontier.build(
+        N_WORKERS, FREQUENCIES_HZ, pama_performance_model(),
+        pama_power_model(include_standby_floor=False),
+    )
+    dvs_perf, power = dvs_models()
+    dvs_frontier = OperatingFrontier.build(
+        N_WORKERS, FREQUENCIES_HZ, dvs_perf, power
+    )
+    rows = []
+    for fp in fixed_frontier.points:
+        if fp.n == 0:
+            continue
+        # cheapest DVS point matching this performance
+        dp = dvs_frontier.cheapest_with_perf(fp.perf)
+        if dp is None:
+            continue
+        rows.append(
+            (
+                fp.n,
+                fp.f / MHZ,
+                fp.power,
+                dp.n,
+                dp.f / MHZ,
+                round(dp.v, 2),
+                dp.power,
+                fp.power / dp.power,
+            )
+        )
+    return rows
+
+
+def bench_dvs_whatif(benchmark):
+    rows = benchmark(build_comparison)
+    emit(
+        format_table(
+            [
+                "n (3.3V)", "f MHz", "power W",
+                "n (DVS)", "f MHz", "v V", "power W", "saving x",
+            ],
+            rows,
+            title="What-if — DVS-enabled PAMA vs. the fixed 3.3 V board "
+            "(equal-performance operating points)",
+        )
+    )
+    savings = [r[7] for r in rows]
+    # DVS never loses, and wins big at the low-frequency points
+    assert all(s >= 1.0 - 1e-9 for s in savings)
+    assert max(savings) > 2.0
+    # the flat-out point (everything at f_max, v_max) cannot be improved
+    assert savings[-1] == min(savings)

@@ -1,0 +1,49 @@
+"""Workload harness — fixed-point FFT throughput and accuracy.
+
+Times the Q15 radix-2 transform across sizes (including the paper's 2K
+calibration size) and reports the relative error against numpy's float
+FFT — the accuracy the on-board detector actually gets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.workloads.fft import fft_q15, fft_q15_to_complex
+from repro.workloads.fixedpoint import from_q15, to_q15
+
+
+@pytest.mark.parametrize("n", [256, 2048, 8192])
+def bench_fft_q15(benchmark, n):
+    rng = np.random.default_rng(n)
+    q = to_q15(rng.uniform(-0.9, 0.9, n))
+    re, im, scale = benchmark(fft_q15, q)
+    assert scale == int(np.log2(n))
+
+
+def bench_fft_accuracy_report(benchmark):
+    def accuracy_rows():
+        rows = []
+        rng = np.random.default_rng(0)
+        for n in (64, 256, 1024, 2048):
+            x = rng.uniform(-0.9, 0.9, n)
+            q = to_q15(x)
+            ours = fft_q15_to_complex(q)
+            ref = np.fft.fft(from_q15(q))
+            rel = float(np.max(np.abs(ours - ref)) / np.max(np.abs(ref)))
+            rows.append((n, f"{rel:.2e}"))
+        return rows
+
+    rows = benchmark(accuracy_rows)
+    emit(
+        format_table(
+            ["N", "max rel error vs numpy"],
+            rows,
+            title="Fixed-point FFT accuracy (Q15, per-stage scaling)",
+        )
+    )
+    # 2K-point error stays within ~1% — fine for band-energy classification
+    assert float(rows[-1][1]) < 0.02

@@ -1,0 +1,27 @@
+"""Figure 3 — Charging and use schedule for scenario I.
+
+The square-wave orbit: 2.36 W of charge for the first half period, zero
+afterwards, against the 12-slot use schedule oscillating between 0.32 and
+2.03 W.  Rendered as an ASCII step plot plus the CSV series; the bench
+also overlays the Algorithm 1 allocation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.figures import figure3
+
+
+def bench_figure3(benchmark):
+    fig = benchmark(figure3, include_allocation=True)
+    emit(fig.text())
+    emit(fig.csv())
+    np.testing.assert_allclose(fig.series["Charging schedule"][:6], 2.36)
+    np.testing.assert_allclose(fig.series["Charging schedule"][6:], 0.0)
+    use = fig.series["Use schedule"]
+    assert use.min() == 0.32 and use.max() == 2.03
+    # the allocation stays within the worker pool's feasible band
+    alloc = fig.series["Allocated (Alg. 1)"]
+    assert np.all(alloc >= 0.0) and np.all(alloc <= 2.7524 + 1e-9)

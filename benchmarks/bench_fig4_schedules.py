@@ -1,0 +1,26 @@
+"""Figure 4 — Charging and use schedule for scenario II.
+
+The staircase orbit: supply peaks at 3.54 W early, decays through partial
+shade, and the demand bursts to 3.54 W in eclipse — the mismatch the
+allocation must bridge through the battery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.figures import figure4
+
+
+def bench_figure4(benchmark):
+    fig = benchmark(figure4, include_allocation=True)
+    emit(fig.text())
+    emit(fig.csv())
+    charging = fig.series["Charging schedule"]
+    use = fig.series["Use schedule"]
+    assert charging.max() == 3.54
+    assert use.max() == 3.54
+    # the demand peak falls where charging is low (the figure's whole point)
+    peak = int(np.argmax(use))
+    assert charging[peak] < charging.max() / 3

@@ -1,0 +1,75 @@
+"""Performance harness — planner cost vs. problem size.
+
+The paper's controller is one 20 MHz chip; the planner must stay cheap.
+This bench times the three pipeline stages (Algorithm 1 allocation,
+frontier construction, Algorithm 2 planning) as the number of slots and
+processors grows, so regressions in algorithmic complexity show up as
+benchmark deltas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import allocate
+from repro.core.pareto import OperatingFrontier
+from repro.core.parameters import plan_parameters
+from repro.core.wpuf import desired_usage
+from repro.models.battery import BatterySpec
+from repro.scenarios.paper import (
+    FREQUENCIES_HZ,
+    pama_performance_model,
+    pama_power_model,
+)
+from repro.util.schedule import Schedule
+from repro.util.timegrid import TimeGrid
+
+
+def make_problem(n_slots: int):
+    grid = TimeGrid(period=float(n_slots), tau=1.0)
+    t = np.arange(n_slots)
+    charging = Schedule(grid, 2.0 + 1.5 * np.sin(2 * np.pi * t / n_slots))
+    demand = Schedule(grid, 1.5 + 1.2 * np.cos(4 * np.pi * t / n_slots + 0.7))
+    spec = BatterySpec(c_max=8.0, c_min=0.2, initial=0.2)
+    return grid, charging, demand, spec
+
+
+@pytest.mark.parametrize("n_slots", [12, 96, 384])
+def bench_allocation_scaling(benchmark, n_slots):
+    grid, charging, demand, spec = make_problem(n_slots)
+    u_new = desired_usage(demand, Schedule.constant(grid, 1.0), charging)
+
+    def run():
+        return allocate(charging, u_new, spec, usage_ceiling=4.0)
+
+    result = benchmark(run)
+    assert result.feasible
+
+
+@pytest.mark.parametrize("n_processors", [7, 32, 128])
+def bench_frontier_scaling(benchmark, n_processors):
+    perf = pama_performance_model()
+    power = pama_power_model(include_standby_floor=False)
+
+    def run():
+        return OperatingFrontier.build(n_processors, FREQUENCIES_HZ, perf, power)
+
+    frontier = benchmark(run)
+    assert len(frontier) >= 2
+
+
+@pytest.mark.parametrize("n_slots", [12, 96, 384])
+def bench_parameter_planning_scaling(benchmark, n_slots):
+    grid, charging, demand, spec = make_problem(n_slots)
+    u_new = desired_usage(demand, Schedule.constant(grid, 1.0), charging)
+    alloc = allocate(charging, u_new, spec, usage_ceiling=4.0)
+    perf = pama_performance_model()
+    power = pama_power_model(include_standby_floor=False)
+    frontier = OperatingFrontier.build(16, FREQUENCIES_HZ, perf, power)
+
+    def run():
+        return plan_parameters(alloc.usage.values, frontier, tau=1.0)
+
+    sched = benchmark(run)
+    assert len(sched) == n_slots

@@ -1,0 +1,47 @@
+"""Generalization sweep — proposed vs. static over the scenario library.
+
+The paper evaluates two hand-picked scenarios; this bench replays the
+Table 1 comparison over the extended library (eclipse orbit, commute
+traffic, burst watch, deep discharge) to show the result is not an
+artifact of those inputs.  Shape: across every scenario the proposed
+plan's combined loss (waste + undersupply) is below static's.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep_scenarios
+from repro.scenarios.library import library_scenarios
+from repro.scenarios.paper import paper_scenarios
+
+
+def run_sweep(frontier):
+    scenarios = list(paper_scenarios()) + list(library_scenarios())
+    return sweep_scenarios(scenarios, frontier, n_periods=2)
+
+
+def bench_scenario_library(benchmark, frontier):
+    cells = benchmark(run_sweep, frontier)
+    emit(
+        format_table(
+            ["scenario", "policy", "wasted (J)", "undersupplied (J)", "utilization"],
+            [
+                (c.scenario, c.policy, c.result.wasted, c.result.undersupplied,
+                 c.result.utilization)
+                for c in cells
+            ],
+            title="Generalization — proposed vs. static across the scenario library",
+        )
+    )
+    by_key = {(c.scenario, c.policy): c.result for c in cells}
+    scenarios = {c.scenario for c in cells}
+    for name in scenarios:
+        proposed = by_key[(name, "proposed")]
+        static = by_key[(name, "static")]
+        combined_p = proposed.wasted + proposed.undersupplied
+        combined_s = static.wasted + static.undersupplied
+        assert combined_p < combined_s, name
+        # and the plan's own demand is essentially always served
+        assert proposed.undersupplied < 1.0, name

@@ -1,0 +1,29 @@
+"""Table 1 — Comparison of algorithms (proposed vs. static, both scenarios).
+
+Paper values (J, two periods):
+
+    scenario1 proposed: wasted 13.68, undersupplied 23.11
+    scenario1 static:   wasted 40.93, undersupplied 39.33
+    scenario2 proposed: wasted  6.18, undersupplied  6.27
+    scenario2 static:   wasted 69.33, undersupplied 67.91
+
+Expected shape: proposed cuts wasted energy ≥3× in scenario I and ≈10× in
+scenario II, and (nearly) eliminates undersupply of its own plan.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.tables import table1
+
+
+def bench_table1(benchmark):
+    result = benchmark(table1)
+    emit(result.text())
+    # shape assertions guard the benchmark from regressing silently
+    for scenario in ("scenario1", "scenario2"):
+        proposed = result.row(scenario, "proposed")
+        static = result.row(scenario, "static")
+        assert proposed.wasted < static.wasted / 3.0
+        assert proposed.undersupplied < static.undersupplied

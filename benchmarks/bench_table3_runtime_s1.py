@@ -1,0 +1,27 @@
+"""Table 3 — Dynamic update of the power allocation, scenario I.
+
+Two periods (24 rows) of the run-time loop: allocation at decision time,
+the quantized used power, the supplied power, and the Algorithm 3-updated
+window Pinit(0..11).  Shape: used power tracks the allocation from below
+(frontier quantization), the battery never leaves [C_min, C_max], and
+every row's window reflects the deviation of that slot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.tables import runtime_table
+
+
+def bench_table3_runtime_scenario1(benchmark, sc1, frontier):
+    result = benchmark(runtime_table, sc1, n_periods=2, frontier=frontier)
+    emit(result.text())
+    assert len(result.rows) == 24
+    levels = {round(p.power, 6) for p in frontier.points}
+    for row in result.rows:
+        assert round(row.used_power, 6) in levels  # quantized like the paper
+        assert sc1.spec.c_min - 1e-9 <= row.battery_level <= sc1.spec.c_max + 1e-9
+    supplied = [r.supplied_power for r in result.rows[:12]]
+    np.testing.assert_allclose(supplied, sc1.charging.values)

@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures and the paper-row printer.
+
+Every bench regenerates one table or figure of the paper (or an ablation
+DESIGN.md calls out) and *prints the rows the paper reports* once, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction
+log.  The timed body is the computation that produces the artifact.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.scenarios.paper import pama_frontier, scenario1, scenario2
+
+
+def emit(text: str) -> None:
+    """Print a reproduction artifact once, bypassing capture noise."""
+    sys.stderr.write("\n" + text + "\n")
+
+
+@pytest.fixture(scope="session")
+def frontier():
+    return pama_frontier()
+
+
+@pytest.fixture(scope="session")
+def sc1():
+    return scenario1()
+
+
+@pytest.fixture(scope="session")
+def sc2():
+    return scenario2()

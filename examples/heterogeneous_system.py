@@ -1,0 +1,87 @@
+"""Future-work extensions: per-processor clocks and heterogeneous pools.
+
+The paper's Section 6 names two extensions: per-processor frequency and
+voltage, and heterogeneous systems.  Both are implemented in
+``repro.core.perproc`` and ``repro.core.hetero``; this example shows what
+they buy on the PAMA workload:
+
+1. the per-processor frontier reaches performance points the common-clock
+   frontier cannot afford at equal power, and
+2. a mixed PIM + DSP pool routes budget to the faster class first.
+
+Run:  python examples/heterogeneous_system.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hetero import HeterogeneousPool, ProcessorClass
+from repro.core.pareto import OperatingFrontier
+from repro.core.perproc import (
+    best_assignment_within_power,
+    build_perproc_frontier,
+)
+from repro.scenarios.paper import (
+    FREQUENCIES_HZ,
+    MHZ,
+    pama_performance_model,
+    pama_power_model,
+)
+
+
+def per_processor_gains() -> None:
+    perf_model = pama_performance_model()
+    power_model = pama_power_model(include_standby_floor=False)
+    common = OperatingFrontier.build(
+        4, FREQUENCIES_HZ, perf_model, power_model, count_standby=False
+    )
+    per = build_perproc_frontier(4, FREQUENCIES_HZ, perf_model, power_model)
+
+    print("=== Per-processor clocks vs. common clock (4 workers) ===")
+    print(f"  {'budget W':>9s} | {'common (n,f)':>14s} {'perf':>10s} | "
+          f"{'per-proc freqs (MHz)':>22s} {'perf':>10s} {'gain':>6s}")
+    for budget in np.linspace(0.15, 1.6, 8):
+        c = common.best_within_power(budget)
+        p = best_assignment_within_power(per, budget)
+        freqs = "/".join(f"{f / MHZ:.0f}" for f in p.freqs)
+        gain = 0.0 if c.perf == 0 else (p.perf - c.perf) / c.perf
+        print(
+            f"  {budget:9.3f} | ({c.n},{c.f / MHZ:3.0f} MHz) {c.perf:10.3e} | "
+            f"{freqs:>22s} {p.perf:10.3e} {gain:6.1%}"
+        )
+
+
+def mixed_pool() -> None:
+    perf_model = pama_performance_model()
+    power_model = pama_power_model(include_standby_floor=False)
+    pool = HeterogeneousPool(
+        [
+            ProcessorClass(
+                "pim", count=4, frequencies=tuple(FREQUENCIES_HZ),
+                power_model=power_model,
+            ),
+            ProcessorClass(
+                "dsp", count=2, frequencies=(40 * MHZ, 80 * MHZ),
+                power_model=power_model, speed_factor=1.5,
+            ),
+        ],
+        perf_model,
+    )
+    print("\n=== Heterogeneous pool frontier (4 PIM + 2 DSP, DSP 1.5x IPC) ===")
+    for point in pool.frontier:
+        active = ", ".join(
+            f"{n}x{name}@{f / MHZ:.0f}MHz" for name, n, f in point.config if n
+        ) or "parked"
+        print(f"  {point.power:6.3f} W  perf={point.perf:10.3e}  [{active}]")
+
+    budget = 0.8
+    best = pool.best_within_power(budget)
+    print(f"\nAt a {budget} W budget the pool picks: {best.config}")
+    dsp_active = sum(n for name, n, _ in best.config if name == "dsp")
+    print(f"(DSPs active: {dsp_active} — the faster class absorbs budget first.)")
+
+
+if __name__ == "__main__":
+    per_processor_gains()
+    mixed_pool()

@@ -1,0 +1,112 @@
+"""Satellite FORTE mission: end-to-end detection under power management.
+
+The paper's motivating system: an orbiting RF-transient detector (FORTE)
+running on the PAMA board, charged by a solar panel.  This example wires
+the *whole* stack together:
+
+* signal level — synthetic RF windows (noise / broadband bursts /
+  band-limited transients) pushed through the fixed-point FFT detector;
+* event level — detections become compute events for the power-managed
+  multiprocessor simulation over four orbits, with Poisson arrival noise
+  the planner did not forecast;
+* power level — the proposed manager vs. the static baseline, with the
+  solar supply 10% below the forecast (panel degradation) so Algorithm 3
+  earns its keep.
+
+Run:  python examples/satellite_forte.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DynamicPowerManager, pama_frontier, scenario1
+from repro.baselines.static import StaticPolicy
+from repro.models.events import constant_rate
+from repro.models.sources import ScaledSource, ScheduledSource
+from repro.scenarios.paper import pama_performance_model
+from repro.sim.controller import ManagerPolicy
+from repro.sim.system import MultiprocessorSystem
+from repro.workloads.forte import ForteConfig, ForteDetector, synth_noise, synth_transient
+from repro.workloads.generator import poisson_trace
+
+N_ORBITS = 4
+SUPPLY_DEGRADATION = 0.9  # actual panel output vs. forecast
+
+
+def classify_sample_windows() -> None:
+    """Signal level: show the detector front-end on three window types."""
+    detector = ForteDetector(ForteConfig(n_points=2048))
+    rng = np.random.default_rng(2002)
+    windows = {
+        "background noise": synth_noise(2048, amplitude=0.04, rng=rng),
+        "broadband burst": np.clip(rng.normal(0.0, 0.3, 2048), -0.95, 0.95),
+        "RF transient (chirp)": synth_transient(2048, amplitude=0.7, rng=rng),
+    }
+    print("=== FORTE detector on synthetic windows (2K fixed-point FFT) ===")
+    for name, window in windows.items():
+        det = detector.process(window)
+        verdict = (
+            "interesting" if det.interesting
+            else ("triggered, rejected" if det.triggered else "no trigger")
+        )
+        print(
+            f"  {name:22s} peak={det.peak_magnitude:4.2f}  "
+            f"band-ratio={det.band_energy_ratio:5.2f}  -> {verdict}"
+        )
+
+
+def fly_the_mission() -> None:
+    """Event + power level: four orbits under both policies."""
+    scenario = scenario1()
+    frontier = pama_frontier()
+    grid = scenario.grid
+    perf_model = pama_performance_model()
+
+    # events: ~0.4 triggers/s forecast, Poisson reality
+    rate = constant_rate(grid, 0.4)
+    events = poisson_trace(rate, n_periods=N_ORBITS, seed=7)
+
+    # the panel delivers 10% less than the planner's forecast
+    source = ScaledSource(ScheduledSource(scenario.charging), SUPPLY_DEGRADATION)
+
+    system = MultiprocessorSystem(
+        grid, source, scenario.spec, perf_model, events
+    )
+
+    manager = DynamicPowerManager(
+        scenario.charging,
+        scenario.event_demand,
+        scenario.weight(),
+        frontier=frontier,
+        spec=scenario.spec,
+    )
+    policies = [ManagerPolicy(manager), StaticPolicy(frontier)]
+
+    print(
+        f"\n=== {N_ORBITS} orbits, Poisson triggers, panel at "
+        f"{SUPPLY_DEGRADATION:.0%} of forecast ==="
+    )
+    header = (
+        f"  {'policy':10s} {'wasted J':>9s} {'under J':>9s} "
+        f"{'util':>6s} {'served':>7s} {'backlog':>8s}"
+    )
+    print(header)
+    for policy in policies:
+        summary = system.run(policy).summary()
+        print(
+            f"  {policy.name:10s} {summary.wasted_energy:9.2f} "
+            f"{summary.undersupplied_energy:9.2f} "
+            f"{summary.energy_utilization:6.3f} "
+            f"{summary.service_ratio:7.1%} {summary.final_backlog:8.1f}"
+        )
+    print(
+        "\nThe proposed manager absorbs the panel shortfall through"
+        " Algorithm 3's reallocation; the static policy burns its battery"
+        " early and starves through eclipse."
+    )
+
+
+if __name__ == "__main__":
+    classify_sample_windows()
+    fly_the_mission()

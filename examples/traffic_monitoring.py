@@ -1,0 +1,72 @@
+"""Traffic monitoring with commute-time emphasis (paper Section 2 example).
+
+"If we want to process data more intensively during commute time in a
+traffic monitoring system, then the period is given a higher weight
+value."  This example shows the weight function ``w(t)`` doing exactly
+that: the same diurnal event rate planned twice — once with a uniform
+weight, once with commute slots weighted 3× — and how the Algorithm 1
+allocation shifts energy into the emphasized window.
+
+Run:  python examples/traffic_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DynamicPowerManager, pama_frontier, pama_battery_spec
+from repro.analysis.asciiplot import ascii_plot, step_series
+from repro.models.events import diurnal_rate, emphasized_weight, uniform_weight
+from repro.scenarios.paper import pama_grid
+from repro.util.schedule import Schedule
+
+COMMUTE_SLOTS = [2, 3, 8, 9]  # morning and evening rush, on the 12-slot day
+EMPHASIS = 3.0
+
+
+def plan_with_weight(weight: Schedule) -> np.ndarray:
+    grid = pama_grid()
+    charging = Schedule.constant(grid, 1.2)  # mains-powered with a buffer
+    rate = diurnal_rate(grid, mean=1.0, amplitude=0.8, phase=-np.pi / 2)
+    manager = DynamicPowerManager(
+        charging,
+        rate,
+        weight,
+        frontier=pama_frontier(),
+        spec=pama_battery_spec(),
+    )
+    allocation, _ = manager.plan()
+    return allocation.usage.values
+
+
+def main() -> None:
+    grid = pama_grid()
+    uniform = plan_with_weight(uniform_weight(grid))
+    emphasized = plan_with_weight(
+        emphasized_weight(grid, COMMUTE_SLOTS, EMPHASIS)
+    )
+
+    print(
+        ascii_plot(
+            [
+                step_series("uniform weight", grid.slot_starts(), uniform, grid.tau),
+                step_series("commute x3", grid.slot_starts(), emphasized, grid.tau),
+            ],
+            title="Allocated power with and without commute emphasis",
+            y_label="Power (W)",
+            x_label="Time (Sec)",
+        )
+    )
+
+    commute_share_uniform = uniform[COMMUTE_SLOTS].sum() / uniform.sum()
+    commute_share_emph = emphasized[COMMUTE_SLOTS].sum() / emphasized.sum()
+    print(
+        f"\nCommute slots receive {commute_share_uniform:.1%} of the energy "
+        f"under the uniform weight and {commute_share_emph:.1%} with the "
+        f"{EMPHASIS:.0f}x emphasis."
+    )
+    assert commute_share_emph > commute_share_uniform
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""repro — reproduction of "Dynamic Power Management of Multiprocessor
+Systems" (Suh, Kang, Crago — IPPS 2002).
+
+A library for energy-budgeted dynamic power management of multiprocessor
+systems fed by a rechargeable battery and a periodic external source.
+Implements the paper's three-stage algorithm (initial power allocation,
+system-parameter computation, run-time reallocation), the physical models
+it rests on, the PAMA/M32R-D example platform, the FORTE fixed-point FFT
+workload, a discrete-event simulator, baseline policies, and the full
+evaluation harness that regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro import DynamicPowerManager, scenario1, pama_frontier
+
+    sc = scenario1()
+    mgr = DynamicPowerManager(
+        sc.charging, sc.event_demand, frontier=pama_frontier(), spec=sc.spec
+    )
+    allocation, schedule = mgr.plan()
+    mgr.start()
+    for _ in range(len(sc.grid)):
+        step = mgr.advance()
+        print(step.time, step.point.n, step.point.f, step.level)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every experiment.
+"""
+
+from .util import Schedule, TimeGrid
+from .models import (
+    AlphaPowerVFMap,
+    Battery,
+    BatterySpec,
+    EventRateProfile,
+    FixedVoltageVFMap,
+    LinearVFMap,
+    PerformanceModel,
+    PowerModel,
+    ScheduledSource,
+    SolarOrbitSource,
+    SquareWaveSource,
+)
+from .core import (
+    AllocationResult,
+    DynamicPowerManager,
+    HeterogeneousPool,
+    OperatingFrontier,
+    OperatingPoint,
+    ParameterSchedule,
+    SwitchingOverheads,
+    allocate,
+    desired_usage,
+    optimal_parameters,
+    plan_parameters,
+    redistribute_deviation,
+)
+from .scenarios.paper import (
+    PaperScenario,
+    pama_battery_spec,
+    pama_frontier,
+    pama_grid,
+    pama_performance_model,
+    pama_power_model,
+    paper_scenarios,
+    scenario1,
+    scenario2,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TimeGrid",
+    "Schedule",
+    "PowerModel",
+    "PerformanceModel",
+    "Battery",
+    "BatterySpec",
+    "EventRateProfile",
+    "FixedVoltageVFMap",
+    "LinearVFMap",
+    "AlphaPowerVFMap",
+    "ScheduledSource",
+    "SquareWaveSource",
+    "SolarOrbitSource",
+    "DynamicPowerManager",
+    "AllocationResult",
+    "ParameterSchedule",
+    "OperatingFrontier",
+    "OperatingPoint",
+    "SwitchingOverheads",
+    "HeterogeneousPool",
+    "allocate",
+    "desired_usage",
+    "plan_parameters",
+    "optimal_parameters",
+    "redistribute_deviation",
+    "PaperScenario",
+    "scenario1",
+    "scenario2",
+    "paper_scenarios",
+    "pama_grid",
+    "pama_frontier",
+    "pama_power_model",
+    "pama_performance_model",
+    "pama_battery_spec",
+    "__version__",
+]

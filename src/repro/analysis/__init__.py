@@ -1,0 +1,67 @@
+"""Evaluation harness: metrics, energy comparisons, tables, figures, reports."""
+
+from .metrics import EnergyBooks, battery_excursion, energy_books, reduction_factor
+from .energy import EnergyRunResult, compare_policies, run_demand_follower, run_managed
+from .tables import (
+    PAPER_TABLE1_J,
+    AllocationTable,
+    RuntimeTable,
+    Table1Result,
+    allocation_table,
+    runtime_table,
+    table1,
+)
+from .figures import FigureData, figure3, figure4, scenario_figure
+from .asciiplot import Series, ascii_plot, step_series
+from .report import ComparisonRow, format_comparison, format_table
+from .stats import SeedSummary, bootstrap_ci, compare_over_seeds, summarize_over_seeds
+from .sweep import SweepCell, sweep_knob, sweep_scenarios
+from .export import (
+    allocation_table_csv,
+    csv_lines,
+    energy_run_csv,
+    manager_history_csv,
+    runtime_table_csv,
+    sim_trace_csv,
+)
+
+__all__ = [
+    "EnergyBooks",
+    "energy_books",
+    "reduction_factor",
+    "battery_excursion",
+    "EnergyRunResult",
+    "run_managed",
+    "run_demand_follower",
+    "compare_policies",
+    "PAPER_TABLE1_J",
+    "Table1Result",
+    "table1",
+    "AllocationTable",
+    "allocation_table",
+    "RuntimeTable",
+    "runtime_table",
+    "FigureData",
+    "figure3",
+    "figure4",
+    "scenario_figure",
+    "Series",
+    "ascii_plot",
+    "step_series",
+    "ComparisonRow",
+    "format_comparison",
+    "format_table",
+    "SweepCell",
+    "sweep_scenarios",
+    "sweep_knob",
+    "SeedSummary",
+    "bootstrap_ci",
+    "summarize_over_seeds",
+    "compare_over_seeds",
+    "csv_lines",
+    "sim_trace_csv",
+    "runtime_table_csv",
+    "allocation_table_csv",
+    "energy_run_csv",
+    "manager_history_csv",
+]

@@ -1,0 +1,115 @@
+"""Terminal line plots.
+
+No plotting library is assumed; the figure benches render the paper's
+charts as fixed-width ASCII so ``python -m repro fig3`` is self-contained.
+One canvas, multiple named series, distinct glyphs, a left axis with
+value labels and a bottom axis with time labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Series", "ascii_plot", "step_series"]
+
+GLYPHS = "*o+x#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line: x and y arrays of equal length."""
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=float)
+        y = np.asarray(self.y, dtype=float)
+        if x.shape != y.shape or x.ndim != 1 or x.size == 0:
+            raise ValueError("series needs equal-length non-empty 1-D x and y")
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+
+def step_series(name: str, slot_starts: np.ndarray, values: np.ndarray, tau: float) -> Series:
+    """Render a piecewise-constant schedule as a dense step line
+    (two points per slot edge, so the plot shows flats and jumps)."""
+    slot_starts = np.asarray(slot_starts, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if slot_starts.shape != values.shape:
+        raise ValueError("slot_starts and values must have equal length")
+    xs = np.repeat(slot_starts, 2)
+    xs[1::2] += tau
+    ys = np.repeat(values, 2)
+    return Series(name, xs, ys)
+
+
+def ascii_plot(
+    series: Sequence[Series],
+    *,
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render the series onto one character canvas; returns the text."""
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ValueError("canvas too small")
+    x_min = min(float(s.x.min()) for s in series)
+    x_max = max(float(s.x.max()) for s in series)
+    y_min = min(float(s.y.min()) for s in series)
+    y_max = max(float(s.y.max()) for s in series)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    pad = 0.05 * (y_max - y_min)
+    y_min -= pad
+    y_max += pad
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def put(xv: float, yv: float, glyph: str) -> None:
+        col = int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+        row = int(round((y_max - yv) / (y_max - y_min) * (height - 1)))
+        if 0 <= row < height and 0 <= col < width:
+            canvas[row][col] = glyph
+
+    for idx, s in enumerate(series):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        # densify segments so lines are visually continuous
+        for i in range(s.x.size - 1):
+            x0, x1 = s.x[i], s.x[i + 1]
+            y0, y1 = s.y[i], s.y[i + 1]
+            steps = max(2, int(abs(x1 - x0) / (x_max - x_min) * width * 2), 2)
+            for t in np.linspace(0.0, 1.0, steps):
+                put(x0 + t * (x1 - x0), y0 + t * (y1 - y0), glyph)
+        put(float(s.x[-1]), float(s.y[-1]), glyph)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    if y_label:
+        lines.append(y_label)
+    for r in range(height):
+        yv = y_max - r * (y_max - y_min) / (height - 1)
+        lines.append(f"{yv:8.2f} |" + "".join(canvas[r]))
+    lines.append(" " * 9 + "+" + "-" * width)
+    left = f"{x_min:.1f}"
+    right = f"{x_max:.1f}"
+    gap = width - len(left) - len(right)
+    lines.append(" " * 10 + left + " " * max(gap, 1) + right)
+    if x_label:
+        lines.append(x_label.center(width + 10))
+    legend = "   ".join(
+        f"{GLYPHS[i % len(GLYPHS)]} {s.name}" for i, s in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

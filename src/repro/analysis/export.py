@@ -1,0 +1,121 @@
+"""CSV export of traces and tables.
+
+The ASCII renderings are for terminals; anything headed into an external
+plotting tool goes through these exporters.  All emit plain
+comma-separated text (no dependencies), with one header row and stable
+column ordering, so the output diffs cleanly across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.manager import ManagerStep
+from ..sim.tracing import SimTrace
+from .energy import EnergyRunResult
+from .tables import AllocationTable, RuntimeTable
+
+__all__ = [
+    "csv_lines",
+    "sim_trace_csv",
+    "runtime_table_csv",
+    "allocation_table_csv",
+    "energy_run_csv",
+    "manager_history_csv",
+]
+
+
+def csv_lines(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Minimal CSV writer: floats at full precision, no quoting needed for
+    the identifiers this library produces."""
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return format(v, ".10g")
+        return str(v)
+
+    out = [",".join(headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        out.append(",".join(cell(v) for v in row))
+    return "\n".join(out)
+
+
+def sim_trace_csv(trace: SimTrace) -> str:
+    """One row per simulated slot (the event-driven simulator)."""
+    headers = [
+        "slot", "time", "allocated_power", "n_active", "frequency",
+        "used_power", "delivered_power", "supplied_power",
+        "wasted_energy", "undersupplied_energy", "battery_level",
+        "arrivals", "processed", "backlog",
+    ]
+    rows = [
+        [getattr(r, h) for h in headers]
+        for r in trace
+    ]
+    return csv_lines(headers, rows)
+
+
+def runtime_table_csv(table: RuntimeTable) -> str:
+    """Tables 3/5 as CSV (window columns expanded)."""
+    n = len(table.rows[0].window)
+    headers = [
+        "time", "pinit", "used_power", "expected_supply", "supplied_power",
+        "battery_level",
+    ] + [f"pinit_{k}" for k in range(n)]
+    rows = [
+        [r.time, r.pinit, r.used_power, r.expected_supply, r.supplied_power,
+         r.battery_level]
+        + list(r.window)
+        for r in table.rows
+    ]
+    return csv_lines(headers, rows)
+
+
+def allocation_table_csv(table: AllocationTable) -> str:
+    """Tables 2/4 as CSV: one row per (iteration, kind)."""
+    n = len(table.pinit_rows[0])
+    headers = ["iteration", "row"] + [f"t{k}" for k in range(n)]
+    rows = []
+    for i, (p, g) in enumerate(
+        zip(table.pinit_rows, table.integration_rows), start=1
+    ):
+        rows.append([i, "pinit"] + list(p))
+        rows.append([i, "integration"] + list(g))
+    return csv_lines(headers, rows)
+
+
+def energy_run_csv(result: EnergyRunResult) -> str:
+    """Per-slot series of one energy-accounting run."""
+    headers = [
+        "slot", "used_power", "delivered_power", "battery_level",
+        "allocated_power",
+    ]
+    rows = [
+        [
+            k,
+            float(result.used_power[k]),
+            float(result.delivered_power[k]),
+            float(result.battery_level[k]),
+            float(result.allocated_power[k]),
+        ]
+        for k in range(result.used_power.size)
+    ]
+    return csv_lines(headers, rows)
+
+
+def manager_history_csv(history: Sequence[ManagerStep]) -> str:
+    """The run-time loop's own records (Tables 3/5 shape, from the manager)."""
+    headers = [
+        "slot", "time", "allocated_power", "n", "f", "used_power",
+        "supplied_power", "expected_supply_power", "e_diff", "level",
+    ]
+    rows = [
+        [
+            s.slot, s.time, s.allocated_power, s.point.n, s.point.f,
+            s.used_power, s.supplied_power, s.expected_supply_power,
+            s.e_diff, s.level,
+        ]
+        for s in history
+    ]
+    return csv_lines(headers, rows)

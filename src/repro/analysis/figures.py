@@ -1,0 +1,101 @@
+"""Generators for the paper's Figures 3 and 4.
+
+Each figure plots two step series over one period: the **charging
+schedule** and the **use schedule** of a scenario.  The generator returns
+the raw series (for assertions and CSV export) plus an ASCII rendering,
+and can overlay the Algorithm 1 *allocated* plan — the third line the
+paper's Section 5 discussion walks through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.allocation import allocate
+from ..core.wpuf import desired_usage
+from ..scenarios.paper import PaperScenario, pama_frontier, scenario1, scenario2
+from .asciiplot import ascii_plot, step_series
+
+__all__ = ["FigureData", "figure3", "figure4", "scenario_figure"]
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """One reproduced figure: named per-slot series on a common grid."""
+
+    name: str
+    title: str
+    slot_starts: np.ndarray
+    tau: float
+    series: dict[str, np.ndarray]  #: name → per-slot values (W)
+
+    def text(self, *, width: int = 72, height: int = 16) -> str:
+        drawn = [
+            step_series(name, self.slot_starts, values, self.tau)
+            for name, values in self.series.items()
+        ]
+        return ascii_plot(
+            drawn,
+            width=width,
+            height=height,
+            title=self.title,
+            y_label="Power (W)",
+            x_label="Time (Sec)",
+        )
+
+    def csv(self) -> str:
+        """Comma-separated dump: time column plus one column per series."""
+        names = list(self.series)
+        lines = ["time," + ",".join(names)]
+        for i, t in enumerate(self.slot_starts):
+            vals = ",".join(f"{self.series[n][i]:.4f}" for n in names)
+            lines.append(f"{t:.1f},{vals}")
+        return "\n".join(lines)
+
+
+def scenario_figure(
+    scenario: PaperScenario,
+    *,
+    include_allocation: bool = False,
+    figure_name: str = "",
+) -> FigureData:
+    """Build the charging/use-schedule figure for any scenario."""
+    series = {
+        "Charging schedule": scenario.charging.values.copy(),
+        "Use schedule": scenario.event_demand.values.copy(),
+    }
+    if include_allocation:
+        u_new = desired_usage(
+            scenario.event_demand, scenario.weight(), scenario.charging
+        )
+        result = allocate(
+            scenario.charging,
+            u_new,
+            scenario.spec,
+            usage_ceiling=pama_frontier().max_power,
+        )
+        series["Allocated (Alg. 1)"] = result.usage.values.copy()
+    name = figure_name or f"figure-{scenario.name}"
+    return FigureData(
+        name=name,
+        title=f"Charging and use schedule for {scenario.name}",
+        slot_starts=scenario.grid.slot_starts(),
+        tau=scenario.grid.tau,
+        series=series,
+    )
+
+
+def figure3(*, include_allocation: bool = False) -> FigureData:
+    """Figure 3: charging and use schedule for scenario I."""
+    return scenario_figure(
+        scenario1(), include_allocation=include_allocation, figure_name="figure3"
+    )
+
+
+def figure4(*, include_allocation: bool = False) -> FigureData:
+    """Figure 4: charging and use schedule for scenario II."""
+    return scenario_figure(
+        scenario2(), include_allocation=include_allocation, figure_name="figure4"
+    )

@@ -1,0 +1,66 @@
+"""Plain-text report formatting: tables and paper-vs-measured rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["format_table", "ComparisonRow", "format_comparison"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Fixed-width text table; floats formatted with ``float_fmt``."""
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured quantity for EXPERIMENTS.md."""
+
+    quantity: str
+    paper: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        if self.paper == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.paper
+
+
+def format_comparison(rows: Sequence[ComparisonRow], *, title: str = "") -> str:
+    """Render paper-vs-measured rows with the measured/paper ratio."""
+    table_rows = [
+        (r.quantity, r.paper, r.measured, f"{r.ratio:.2f}x") for r in rows
+    ]
+    return format_table(
+        ["quantity", "paper", "measured", "measured/paper"],
+        table_rows,
+        title=title,
+    )

@@ -1,0 +1,93 @@
+"""Seed statistics for stochastic experiments.
+
+The event-driven comparisons use Poisson arrivals and noisy sources;
+single-seed numbers can mislead.  These helpers run a metric function
+across seeds and reduce to mean, standard deviation, and a bootstrap
+confidence interval — numpy only, fully deterministic given the seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["SeedSummary", "bootstrap_ci", "summarize_over_seeds", "compare_over_seeds"]
+
+
+@dataclass(frozen=True)
+class SeedSummary:
+    """Distribution of one metric across seeds."""
+
+    values: tuple[float, ...]
+    mean: float
+    std: float
+    ci_low: float  #: bootstrap CI lower bound
+    ci_high: float  #: bootstrap CI upper bound
+    confidence: float
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI of the mean."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if arr.size == 1:
+        return float(arr[0]), float(arr[0])
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def summarize_over_seeds(
+    metric: Callable[[int], float],
+    seeds: Sequence[int],
+    *,
+    confidence: float = 0.95,
+) -> SeedSummary:
+    """Evaluate ``metric(seed)`` for every seed and summarize."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = tuple(float(metric(s)) for s in seeds)
+    lo, hi = bootstrap_ci(values, confidence=confidence)
+    return SeedSummary(
+        values=values,
+        mean=float(np.mean(values)),
+        std=float(np.std(values)),
+        ci_low=lo,
+        ci_high=hi,
+        confidence=confidence,
+    )
+
+
+def compare_over_seeds(
+    metric_a: Callable[[int], float],
+    metric_b: Callable[[int], float],
+    seeds: Sequence[int],
+    *,
+    confidence: float = 0.95,
+) -> tuple[SeedSummary, SeedSummary, tuple[float, float]]:
+    """Paired comparison: summaries of both metrics plus the bootstrap CI
+    of the per-seed difference ``a − b`` (negative CI ⇒ a reliably smaller)."""
+    a = summarize_over_seeds(metric_a, seeds, confidence=confidence)
+    b = summarize_over_seeds(metric_b, seeds, confidence=confidence)
+    diffs = [x - y for x, y in zip(a.values, b.values)]
+    return a, b, bootstrap_ci(diffs, confidence=confidence)

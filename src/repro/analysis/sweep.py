@@ -1,0 +1,93 @@
+"""Parameter-sweep utilities for multi-scenario / multi-policy studies.
+
+The ablation benches all share a pattern: run a grid of (scenario ×
+policy × knob) cells through the energy-accounting harness and tabulate
+the books.  :func:`sweep_scenarios` and :func:`sweep_knob` provide that
+grid with one call each, returning plain rows ready for
+:func:`~repro.analysis.report.format_table` or assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..core.pareto import OperatingFrontier
+from ..scenarios.paper import PaperScenario
+from .energy import EnergyRunResult, run_demand_follower, run_managed
+
+__all__ = ["SweepCell", "sweep_scenarios", "sweep_knob"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell of a sweep."""
+
+    scenario: str
+    policy: str
+    knob: object  #: the swept value (None for plain scenario sweeps)
+    result: EnergyRunResult
+
+    def row(self) -> tuple:
+        """Flat row: (scenario, policy, knob, wasted, undersupplied, util)."""
+        return (
+            self.scenario,
+            self.policy,
+            self.knob,
+            self.result.wasted,
+            self.result.undersupplied,
+            self.result.utilization,
+        )
+
+
+def sweep_scenarios(
+    scenarios: Iterable[PaperScenario],
+    frontier: OperatingFrontier,
+    *,
+    n_periods: int = 2,
+    policies: Sequence[str] = ("proposed", "static"),
+) -> list[SweepCell]:
+    """Run the named policies over every scenario."""
+    cells: list[SweepCell] = []
+    for sc in scenarios:
+        for policy in policies:
+            if policy == "proposed":
+                result = run_managed(sc, frontier, n_periods=n_periods)
+            elif policy == "static":
+                result = run_demand_follower(sc, n_periods=n_periods)
+            else:
+                raise ValueError(f"unknown policy {policy!r}")
+            cells.append(SweepCell(sc.name, policy, None, result))
+    return cells
+
+
+def sweep_knob(
+    base_scenario: PaperScenario,
+    frontier: OperatingFrontier,
+    knob_values: Sequence[object],
+    mutate: Callable[[PaperScenario, object], PaperScenario],
+    *,
+    n_periods: int = 2,
+    policies: Sequence[str] = ("proposed", "static"),
+) -> list[SweepCell]:
+    """Sweep one knob: ``mutate(base, value)`` builds each cell's scenario.
+
+    Example — battery-capacity sweep::
+
+        sweep_knob(
+            scenario1(), frontier, [0.5, 1.0, 2.0],
+            lambda sc, k: replace_spec(sc, c_max=k * sc.spec.c_max),
+        )
+    """
+    cells: list[SweepCell] = []
+    for value in knob_values:
+        scenario = mutate(base_scenario, value)
+        for policy in policies:
+            if policy == "proposed":
+                result = run_managed(scenario, frontier, n_periods=n_periods)
+            elif policy == "static":
+                result = run_demand_follower(scenario, n_periods=n_periods)
+            else:
+                raise ValueError(f"unknown policy {policy!r}")
+            cells.append(SweepCell(scenario.name, policy, value, result))
+    return cells

@@ -1,0 +1,8 @@
+"""Comparison policies: the paper's static baseline plus bracketing extras."""
+
+from .static import StaticPolicy
+from .timeout import TimeoutPolicy
+from .always_on import AlwaysOnPolicy
+from .oracle import OraclePolicy
+
+__all__ = ["StaticPolicy", "TimeoutPolicy", "AlwaysOnPolicy", "OraclePolicy"]

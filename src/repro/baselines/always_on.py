@@ -1,0 +1,37 @@
+"""Always-on baseline: the no-power-management upper bound on energy use.
+
+Runs the full pool at maximum frequency regardless of work or battery
+state.  Useful as the bracketing extreme in the policy-zoo comparison:
+it never misses an event for lack of speed, but drains the battery
+through every eclipse and wastes nothing only because it burns
+everything.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.pareto import OperatingFrontier, OperatingPoint
+from ..sim.system import SlotOutcome, SlotState
+
+__all__ = ["AlwaysOnPolicy"]
+
+
+class AlwaysOnPolicy:
+    """Maximum performance point, always."""
+
+    def __init__(self, frontier: OperatingFrontier):
+        self.frontier = frontier
+        self.name = "always-on"
+
+    def reset(self) -> None:
+        pass
+
+    def decide(self, state: SlotState) -> OperatingPoint:
+        return self.frontier.max_perf_point
+
+    def observe(self, outcome: SlotOutcome) -> None:
+        pass
+
+    def allocated_power(self) -> float:
+        return math.nan

@@ -1,0 +1,83 @@
+"""Clairvoyant energy-balance policy: the reference lower bound on waste.
+
+Plans like the proposed algorithm but with a *perfect* forecast: it is
+given the actual charging trace and actual arrival counts, builds the
+feasible allocation with the backward-repair waterfill (which provably
+avoids every avoidable overflow/underflow), and draws exactly that plan.
+Any waste or undersupply this policy still incurs is physically
+unavoidable on the platform, so the gap between the proposed algorithm
+and the oracle measures the cost of forecasting error alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.allocation import greedy_feasible_allocation
+from ..core.pareto import OperatingFrontier, OperatingPoint
+from ..models.battery import BatterySpec
+from ..sim.system import SlotOutcome, SlotState
+from ..util.schedule import Schedule
+from ..util.timegrid import TimeGrid
+
+__all__ = ["OraclePolicy"]
+
+
+class OraclePolicy:
+    """Feasible allocation computed from the *actual* future, then replayed."""
+
+    def __init__(
+        self,
+        grid: TimeGrid,
+        actual_charging: np.ndarray,
+        desired_usage: np.ndarray,
+        spec: BatterySpec,
+        frontier: OperatingFrontier,
+    ):
+        actual_charging = np.asarray(actual_charging, dtype=float)
+        desired_usage = np.asarray(desired_usage, dtype=float)
+        if actual_charging.shape != desired_usage.shape:
+            raise ValueError("charging and usage traces must have equal length")
+        if actual_charging.size % grid.n_slots != 0:
+            raise ValueError("trace length must be whole periods of the grid")
+        self.grid = grid
+        self.spec = spec
+        self.frontier = frontier
+        self.name = "oracle"
+
+        # Per-period feasible plans computed on the true trace, chained so
+        # each period starts from the level the previous one ends at.
+        plans: list[np.ndarray] = []
+        level = float(spec.initial)
+        n = grid.n_slots
+        for start in range(0, actual_charging.size, n):
+            c = Schedule(grid, actual_charging[start : start + n])
+            u = Schedule(grid, desired_usage[start : start + n])
+            plan = greedy_feasible_allocation(
+                c,
+                u,
+                spec,
+                initial_level=level,
+                usage_ceiling=frontier.max_power,
+            )
+            plans.append(plan.values)
+            # advance the level along the planned (clamped) trajectory
+            for k in range(n):
+                level = spec.clamp(
+                    level + (c.values[k] - plan.values[k]) * grid.tau
+                )
+        self._plan = np.concatenate(plans)
+        self._slot = 0
+
+    def reset(self) -> None:
+        self._slot = 0
+
+    def decide(self, state: SlotState) -> OperatingPoint:
+        budget = float(self._plan[min(self._slot, self._plan.size - 1)])
+        return self.frontier.best_within_power(budget)
+
+    def observe(self, outcome: SlotOutcome) -> None:
+        self._slot += 1
+
+    def allocated_power(self) -> float:
+        return float(self._plan[min(self._slot, self._plan.size - 1)])

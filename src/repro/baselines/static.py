@@ -1,0 +1,48 @@
+"""The paper's static comparison policy (Section 5).
+
+"For comparison, we implemented a static algorithm.  Since no overhead for
+changing the number of processors or frequency is assumed, the system is
+turned off while there is no input data to process.  If the externally
+supplied energy is more than the usage, then the difference is charged to
+a rechargeable battery.  If more energy is used than supplied energy,
+then the difference is supplied from battery."
+
+So: park when idle, run flat-out when there is work — an *optimal
+time-out* policy (zero idle power, zero wake cost) that is nonetheless
+oblivious to the battery's bounds and the charging forecast.  That
+obliviousness is exactly what Table 1 charges it for: it banks energy it
+will never be able to store (waste at ``C_max``) and burns energy right
+before an eclipse (undersupply at ``C_min``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.pareto import OperatingFrontier, OperatingPoint
+from ..sim.system import SlotOutcome, SlotState
+
+__all__ = ["StaticPolicy"]
+
+
+class StaticPolicy:
+    """Run at full speed when work exists, park otherwise."""
+
+    def __init__(self, frontier: OperatingFrontier):
+        self.frontier = frontier
+        self.name = "static"
+
+    def reset(self) -> None:  # stateless
+        pass
+
+    def decide(self, state: SlotState) -> OperatingPoint:
+        has_work = (state.backlog + state.expected_arrivals) > 0
+        if has_work:
+            return self.frontier.max_perf_point
+        return self.frontier.points[0]  # parked
+
+    def observe(self, outcome: SlotOutcome) -> None:  # oblivious
+        pass
+
+    def allocated_power(self) -> float:
+        return math.nan

@@ -1,0 +1,49 @@
+"""Classic time-out dynamic power management.
+
+"The simplest and most widely used technique for dynamic power management
+is the time-out method, in which components are turned off after a fixed
+amount of idling time" (paper Section 1).  Here the idle clock counts
+slots without queued or arriving work; after ``timeout_slots`` of them the
+pool parks, and any work wakes it back to full speed (paying the optional
+wake-energy the paper's PAMA measurements motivate).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.pareto import OperatingFrontier, OperatingPoint
+from ..sim.system import SlotOutcome, SlotState
+
+__all__ = ["TimeoutPolicy"]
+
+
+class TimeoutPolicy:
+    """Park after a fixed idle time; wake on demand at full speed."""
+
+    def __init__(self, frontier: OperatingFrontier, *, timeout_slots: int = 1):
+        if timeout_slots < 0:
+            raise ValueError("timeout_slots must be non-negative")
+        self.frontier = frontier
+        self.timeout_slots = int(timeout_slots)
+        self.name = f"timeout[{timeout_slots}]"
+        self._idle_slots = 0
+
+    def reset(self) -> None:
+        self._idle_slots = 0
+
+    def decide(self, state: SlotState) -> OperatingPoint:
+        has_work = (state.backlog + state.expected_arrivals) > 0
+        if has_work:
+            self._idle_slots = 0
+            return self.frontier.max_perf_point
+        self._idle_slots += 1
+        if self._idle_slots > self.timeout_slots:
+            return self.frontier.points[0]  # timed out: park
+        return self.frontier.max_perf_point  # idling but still awake
+
+    def observe(self, outcome: SlotOutcome) -> None:
+        pass
+
+    def allocated_power(self) -> float:
+        return math.nan

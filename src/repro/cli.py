@@ -1,0 +1,104 @@
+"""Command-line entry point: regenerate any paper experiment by id.
+
+Usage::
+
+    python -m repro table1            # policy comparison (Table 1)
+    python -m repro table2            # allocation iterations, scenario I
+    python -m repro table3            # run-time trace, scenario I
+    python -m repro table4            # allocation iterations, scenario II
+    python -m repro table5            # run-time trace, scenario II
+    python -m repro fig3 [--csv]      # charging/use schedule, scenario I
+    python -m repro fig4 [--csv]      # charging/use schedule, scenario II
+    python -m repro all               # everything, in paper order
+    python -m repro library           # proposed vs. static over the extended scenario library
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.figures import figure3, figure4
+from .analysis.report import format_table
+from .analysis.sweep import sweep_scenarios
+from .analysis.tables import allocation_table, runtime_table, table1
+from .scenarios.library import library_scenarios
+from .scenarios.paper import pama_frontier, paper_scenarios, scenario1, scenario2
+
+__all__ = ["main"]
+
+EXPERIMENTS = ("table1", "table2", "table3", "table4", "table5", "fig3", "fig4")
+EXTRAS = ("library",)
+
+
+def _render(experiment: str, *, csv: bool, n_periods: int) -> str:
+    if experiment == "table1":
+        return table1(n_periods=n_periods).text()
+    if experiment == "table2":
+        return allocation_table(scenario1()).text()
+    if experiment == "table4":
+        return allocation_table(scenario2()).text()
+    if experiment == "table3":
+        return runtime_table(scenario1(), n_periods=n_periods).text()
+    if experiment == "table5":
+        return runtime_table(scenario2(), n_periods=n_periods).text()
+    if experiment == "fig3":
+        fig = figure3(include_allocation=True)
+        return fig.csv() if csv else fig.text()
+    if experiment == "fig4":
+        fig = figure4(include_allocation=True)
+        return fig.csv() if csv else fig.text()
+    if experiment == "library":
+        scenarios = list(paper_scenarios()) + list(library_scenarios())
+        cells = sweep_scenarios(scenarios, pama_frontier(), n_periods=n_periods)
+        return format_table(
+            ["scenario", "policy", "wasted (J)", "undersupplied (J)", "utilization"],
+            [
+                (c.scenario, c.policy, c.result.wasted,
+                 c.result.undersupplied, c.result.utilization)
+                for c in cells
+            ],
+            title="Proposed vs. static across the scenario library",
+        )
+    raise ValueError(f"unknown experiment {experiment!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-dpm",
+        description=(
+            "Reproduce the evaluation of 'Dynamic Power Management of "
+            "Multiprocessor Systems' (IPPS 2002)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + EXTRAS + ("all",),
+        help="which table/figure to regenerate ('library' adds the extended scenario sweep)",
+    )
+    parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit figure data as CSV instead of an ASCII plot",
+    )
+    parser.add_argument(
+        "--periods",
+        type=int,
+        default=2,
+        metavar="N",
+        help="periods to simulate for table1/3/5 (default 2, as the paper)",
+    )
+    args = parser.parse_args(argv)
+    if args.periods < 1:
+        parser.error("--periods must be >= 1")
+
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    chunks = [
+        _render(t, csv=args.csv, n_periods=args.periods) for t in targets
+    ]
+    print("\n\n".join(chunks))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""The paper's contribution: the dynamic power-management algorithm.
+
+Pipeline (Figure 1 of the paper):
+
+1. :mod:`~repro.core.wpuf` — Eq. 7/8 desired-usage shaping.
+2. :mod:`~repro.core.surplus` — Eq. 9/10 battery trajectory.
+3. :mod:`~repro.core.allocation` — Algorithm 1 initial power allocation.
+4. :mod:`~repro.core.pareto` / :mod:`~repro.core.continuous` /
+   :mod:`~repro.core.parameters` — Algorithm 2 and Eq. 12–18 system
+   parameters.
+5. :mod:`~repro.core.update` — Algorithm 3 run-time reallocation.
+6. :mod:`~repro.core.manager` — the assembled manager.
+
+Extensions (the paper's stated future work): :mod:`~repro.core.perproc`
+(per-processor frequency/voltage) and :mod:`~repro.core.hetero`
+(heterogeneous pools).
+"""
+
+from .wpuf import desired_usage, normalize_to_supply, weighted_power_usage
+from .surplus import (
+    TrajectoryCheck,
+    battery_trajectory,
+    check_trajectory,
+    surplus,
+)
+from .allocation import (
+    AllocationIteration,
+    AllocationResult,
+    Anchor,
+    adjust_power_schedule,
+    allocate,
+    greedy_feasible_allocation,
+)
+from .pareto import (
+    OperatingFrontier,
+    OperatingPoint,
+    build_operating_points,
+    pareto_prune,
+)
+from .continuous import (
+    ContinuousDesignPoint,
+    optimal_parameters,
+    optimal_processor_count,
+    perf_power_ratio_high,
+    perf_power_ratio_low,
+)
+from .parameters import (
+    ParameterSchedule,
+    SlotDecision,
+    SwitchingOverheads,
+    plan_parameters,
+)
+from .update import RedistributionResult, find_horizon, redistribute_deviation
+from .manager import DynamicPowerManager, ManagerStep
+from .perproc import (
+    PerProcessorPoint,
+    assignment_perf,
+    assignment_power,
+    best_assignment_within_power,
+    build_perproc_frontier,
+    greedy_perproc_frontier,
+)
+from .hetero import HeteroPoint, HeterogeneousPool, ProcessorClass
+from .adapters import AdaptedFrontier, adapt_hetero_pool, adapt_perproc_frontier
+from .forecast import (
+    AdaptiveManager,
+    ExponentialSmoothingEstimator,
+    LastPeriodEstimator,
+    MovingAverageEstimator,
+    ScheduleEstimator,
+)
+
+__all__ = [
+    "weighted_power_usage",
+    "normalize_to_supply",
+    "desired_usage",
+    "surplus",
+    "battery_trajectory",
+    "check_trajectory",
+    "TrajectoryCheck",
+    "Anchor",
+    "AllocationIteration",
+    "AllocationResult",
+    "adjust_power_schedule",
+    "allocate",
+    "greedy_feasible_allocation",
+    "OperatingPoint",
+    "OperatingFrontier",
+    "build_operating_points",
+    "pareto_prune",
+    "ContinuousDesignPoint",
+    "optimal_parameters",
+    "optimal_processor_count",
+    "perf_power_ratio_low",
+    "perf_power_ratio_high",
+    "ParameterSchedule",
+    "SlotDecision",
+    "SwitchingOverheads",
+    "plan_parameters",
+    "RedistributionResult",
+    "find_horizon",
+    "redistribute_deviation",
+    "DynamicPowerManager",
+    "ManagerStep",
+    "PerProcessorPoint",
+    "assignment_perf",
+    "assignment_power",
+    "build_perproc_frontier",
+    "greedy_perproc_frontier",
+    "best_assignment_within_power",
+    "ProcessorClass",
+    "HeteroPoint",
+    "HeterogeneousPool",
+    "AdaptedFrontier",
+    "adapt_perproc_frontier",
+    "adapt_hetero_pool",
+    "ScheduleEstimator",
+    "LastPeriodEstimator",
+    "MovingAverageEstimator",
+    "ExponentialSmoothingEstimator",
+    "AdaptiveManager",
+]

@@ -1,0 +1,90 @@
+"""Adapters: drive the manager with the extension frontiers.
+
+:class:`~repro.core.manager.DynamicPowerManager` speaks
+:class:`~repro.core.pareto.OperatingFrontier`; the Section 6 extensions
+produce their own point types (per-processor assignments, heterogeneous
+configurations).  These adapters project either frontier onto operating
+points — ``n`` = active processors, ``f`` = the fastest active clock, and
+the exact modeled power/perf — plus a resolver mapping each projected
+point back to the full configuration, so a controller can both *plan*
+with the standard machinery and *command* the richer setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .hetero import HeterogeneousPool
+from .pareto import OperatingFrontier, OperatingPoint
+from .perproc import PerProcessorPoint
+
+__all__ = [
+    "AdaptedFrontier",
+    "adapt_perproc_frontier",
+    "adapt_hetero_pool",
+]
+
+
+@dataclass(frozen=True)
+class AdaptedFrontier:
+    """An operating frontier plus the back-mapping to rich configurations."""
+
+    frontier: OperatingFrontier
+    _resolve: dict[tuple[float, float], object]
+
+    def resolve(self, point: OperatingPoint):
+        """The extension's full configuration behind a projected point."""
+        try:
+            return self._resolve[(point.power, point.perf)]
+        except KeyError:
+            raise KeyError(
+                f"point (power={point.power}, perf={point.perf}) is not from "
+                "this adapted frontier"
+            ) from None
+
+
+def adapt_perproc_frontier(
+    points: Sequence[PerProcessorPoint],
+) -> AdaptedFrontier:
+    """Project a per-processor frontier for the manager.
+
+    Each assignment becomes an operating point with ``n`` = active
+    processors and ``f`` = its fastest clock (what the serial stage runs
+    at); power/perf are the assignment's exact modeled values, so
+    planning quality is unchanged — only the command needs resolving.
+    """
+    if not points:
+        raise ValueError("empty per-processor frontier")
+    projected = []
+    resolve: dict[tuple[float, float], object] = {}
+    for p in points:
+        fastest = max(p.freqs) if p.n_active else 0.0
+        op = OperatingPoint(
+            power=p.power, perf=p.perf, n=p.n_active, f=fastest, v=0.0
+        )
+        projected.append(op)
+        resolve[(op.power, op.perf)] = p
+    frontier = OperatingFrontier(projected)
+    kept = {(op.power, op.perf) for op in frontier.points}
+    return AdaptedFrontier(
+        frontier, {k: v for k, v in resolve.items() if k in kept}
+    )
+
+
+def adapt_hetero_pool(pool: HeterogeneousPool) -> AdaptedFrontier:
+    """Project a heterogeneous pool's frontier for the manager."""
+    projected = []
+    resolve: dict[tuple[float, float], object] = {}
+    for p in pool.frontier:
+        fastest = max((f for _, n, f in p.config if n > 0), default=0.0)
+        op = OperatingPoint(
+            power=p.power, perf=p.perf, n=p.n_active, f=fastest, v=0.0
+        )
+        projected.append(op)
+        resolve[(op.power, op.perf)] = p
+    frontier = OperatingFrontier(projected)
+    kept = {(op.power, op.perf) for op in frontier.points}
+    return AdaptedFrontier(
+        frontier, {k: v for k, v in resolve.items() if k in kept}
+    )

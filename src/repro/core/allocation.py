@@ -1,0 +1,517 @@
+"""Initial power allocation — paper Algorithm 1 (Section 4.1).
+
+Given the energy-balanced desired usage ``u_new`` (Eq. 8) and the expected
+charging schedule ``c``, the unclamped battery trajectory (Eq. 10) may
+exceed ``C_max`` (arriving energy would be wasted) or dip below ``C_min``
+(the system would brown out).  Algorithm 1 reshapes the *trajectory* —
+and thereby the usage plan — so it stays inside the battery window:
+
+1. Find the trajectory's local extrema that violate a bound
+   (line 1: ``dP/dt = 0`` and ``P < C_min`` or ``P > C_max``).
+2. Prune consecutive same-type violations, keeping the worse one
+   (lines 3–7): of two adjacent over-``C_max`` maxima keep the larger, of
+   two adjacent under-``C_min`` minima keep the smaller.
+3. Affinely rescale the trajectory between consecutive (now alternating)
+   anchors so each anchor lands exactly on its bound (lines 8–18,
+   the two symmetric mapping formulas), treating the wrap-around stretch
+   from the last anchor through the period end to the first anchor as one
+   contiguous segment (lines 19–20).
+4. Recover the adjusted usage from the new trajectory:
+   ``u(t) = c(t) − dP_init/dt``.
+
+One pass need not reach feasibility — interior points of a rescaled
+segment can still cross a bound — so :func:`allocate` iterates the pass
+until the trajectory is feasible, exactly as the paper's Tables 2 and 4
+iterate ("after five iterations, the integration … is more than the
+minimum requirement").
+
+Completion choices (the paper leaves these open; see DESIGN.md):
+
+* When only one violation type exists (e.g. Scenario I's first pass only
+  exceeds ``C_max``), the pruned anchor list has a single element and the
+  pairing formulas need an opposite partner.  We anchor the segment with
+  the global extremum of the opposite sense, mapped to itself if it is in
+  bounds (minimal reshaping) or to its bound if not.
+* The recovered usage is floored at ``usage_floor`` (a plan cannot draw
+  negative power) and re-balanced to the supplied energy, since the paper
+  notes "other ways of adjusting can be used".
+* :func:`greedy_feasible_allocation` provides the paper's suggested
+  alternative ("the power can be evenly distributed"): a forward
+  battery-simulation waterfill that is feasible by construction, used as a
+  fallback when the iterative pass does not converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.battery import BatterySpec
+from ..util.schedule import Schedule
+from .surplus import TrajectoryCheck, battery_trajectory, check_trajectory
+
+__all__ = [
+    "Anchor",
+    "AllocationIteration",
+    "AllocationResult",
+    "cyclic_extrema",
+    "violating_anchors",
+    "prune_anchors",
+    "rescale_trajectory",
+    "usage_from_trajectory",
+    "adjust_power_schedule",
+    "allocate",
+    "greedy_feasible_allocation",
+]
+
+
+# ----------------------------------------------------------------------
+# extremum machinery
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Anchor:
+    """A trajectory extremum that Algorithm 1 pins to a battery bound.
+
+    ``index`` is the slot-boundary index (0 … n_slots−1, cyclic);
+    ``level`` the trajectory value there; ``kind`` is ``"high"`` for an
+    over-``C_max`` maximum, ``"low"`` for an under-``C_min`` minimum, or
+    ``"free"`` for a non-violating pseudo-anchor added to complete a
+    single-violation-type segment.
+    """
+
+    index: int
+    level: float
+    kind: str
+
+    def target(self, c_min: float, c_max: float) -> float:
+        """The level this anchor is mapped to."""
+        if self.kind == "high":
+            return c_max
+        if self.kind == "low":
+            return c_min
+        return min(max(self.level, c_min), c_max)
+
+
+def cyclic_extrema(levels: np.ndarray) -> list[tuple[int, str]]:
+    """Local extrema of a cyclic sequence, as ``(index, 'max'|'min')``.
+
+    Plateaus report their final boundary (where the slope actually turns).
+    A constant sequence has no extrema.
+    """
+    levels = np.asarray(levels, dtype=float)
+    n = levels.size
+    if n < 2:
+        return []
+    slopes = np.roll(levels, -1) - levels  # slope of the slot after boundary k
+    signs = np.sign(slopes)
+    if np.all(signs == 0):
+        return []
+    # Propagate the previous nonzero slope sign across flat stretches so a
+    # plateau compares its entering and leaving slopes.
+    eff = signs.copy()
+    # Seed with the last nonzero sign so the cyclic propagation is consistent.
+    last = eff[np.nonzero(eff)[0][-1]]
+    for k in range(n):
+        if eff[k] == 0:
+            eff[k] = last
+        else:
+            last = eff[k]
+    out: list[tuple[int, str]] = []
+    for k in range(n):
+        incoming = eff[k - 1]
+        outgoing = eff[k]
+        if incoming > 0 and outgoing < 0:
+            out.append((k, "max"))
+        elif incoming < 0 and outgoing > 0:
+            out.append((k, "min"))
+    return out
+
+
+def violating_anchors(
+    levels: np.ndarray,
+    c_min: float,
+    c_max: float,
+    *,
+    tol: float = 1e-9,
+) -> list[Anchor]:
+    """Algorithm 1 line 1: extrema outside the battery window."""
+    anchors = []
+    for index, kind in cyclic_extrema(levels):
+        level = float(levels[index])
+        if kind == "max" and level > c_max + tol:
+            anchors.append(Anchor(index, level, "high"))
+        elif kind == "min" and level < c_min - tol:
+            anchors.append(Anchor(index, level, "low"))
+    return anchors
+
+
+def prune_anchors(anchors: list[Anchor]) -> list[Anchor]:
+    """Algorithm 1 lines 3–7: collapse cyclically-consecutive same-type
+    anchors, keeping the more extreme one.
+
+    Anchors must be supplied sorted by index; the result strictly
+    alternates ``high``/``low`` (or is a single anchor).
+    """
+    if len(anchors) <= 1:
+        return list(anchors)
+    pruned = list(anchors)
+    changed = True
+    while changed and len(pruned) > 1:
+        changed = False
+        for i in range(len(pruned)):
+            a, b = pruned[i], pruned[(i + 1) % len(pruned)]
+            if a.kind != b.kind:
+                continue
+            if a.kind == "high":
+                drop = i if a.level <= b.level else (i + 1) % len(pruned)
+            else:  # low: keep the smaller level
+                drop = i if a.level >= b.level else (i + 1) % len(pruned)
+            del pruned[drop]
+            changed = True
+            break
+    return pruned
+
+
+# ----------------------------------------------------------------------
+# trajectory rescaling
+# ----------------------------------------------------------------------
+def _complete_single_anchor(levels: np.ndarray, anchors: list[Anchor]) -> list[Anchor]:
+    """Add the opposite-sense global extremum as a pseudo-anchor when only
+    one violating anchor exists (the paper's lines 19–20 wrap-around needs a
+    second endpoint)."""
+    only = anchors[0]
+    if only.kind == "high":
+        idx = int(np.argmin(levels))
+    else:
+        idx = int(np.argmax(levels))
+    if idx == only.index:  # degenerate: constant trajectory
+        return anchors
+    completed = anchors + [Anchor(idx, float(levels[idx]), "free")]
+    completed.sort(key=lambda a: a.index)
+    return completed
+
+
+def rescale_trajectory(
+    levels: np.ndarray,
+    anchors: list[Anchor],
+    c_min: float,
+    c_max: float,
+) -> np.ndarray:
+    """Algorithm 1 lines 8–20: map each inter-anchor segment affinely so the
+    anchors land on their targets.
+
+    ``levels`` is the cyclic boundary-value array (length ``n_slots``).
+    Returns a new array; ``levels`` is not modified.
+    """
+    n = levels.size
+    if not anchors:
+        return levels.copy()
+    if len(anchors) == 1:
+        anchors = _complete_single_anchor(levels, anchors)
+        if len(anchors) == 1:
+            # constant trajectory that still violates: shift it to its target
+            return np.full(n, anchors[0].target(c_min, c_max))
+    anchors = sorted(anchors, key=lambda a: a.index)
+    out = levels.astype(float).copy()
+    m = len(anchors)
+    for j in range(m):
+        a = anchors[j]
+        b = anchors[(j + 1) % m]
+        ta = a.target(c_min, c_max)
+        tb = b.target(c_min, c_max)
+        # boundaries covered by the segment (a.index, b.index], cyclic
+        span = (b.index - a.index) % n
+        if span == 0:
+            span = n  # two anchors at the same boundary ⇒ whole cycle
+        denom = b.level - a.level
+        for step in range(1, span + 1):
+            k = (a.index + step) % n
+            if denom != 0.0:
+                out[k] = ta + (levels[k] - a.level) * (tb - ta) / denom
+            else:
+                # flat between anchors: interpolate the targets by position
+                out[k] = ta + (tb - ta) * step / span
+    # anchors themselves land exactly on target (the loop sets each anchor
+    # once, as the endpoint of the segment arriving at it)
+    return out
+
+
+def usage_from_trajectory(
+    charging: Schedule,
+    boundary_levels: np.ndarray,
+    *,
+    floor: float = 0.0,
+    ceiling: float | None = None,
+) -> Schedule:
+    """Recover ``u(t) = c(t) − dP/dt`` from cyclic boundary levels.
+
+    The slope of slot ``k`` is ``(L[k+1] − L[k]) / τ`` (cyclically), so the
+    usage in slot ``k`` is the charging power minus that slope, clipped
+    into ``[floor, ceiling]``.
+    """
+    grid = charging.grid
+    levels = np.asarray(boundary_levels, dtype=float)
+    if levels.size != grid.n_slots:
+        raise ValueError(
+            f"expected {grid.n_slots} boundary levels, got {levels.size}"
+        )
+    slope = (np.roll(levels, -1) - levels) / grid.tau
+    usage = charging.values - slope
+    hi = np.inf if ceiling is None else ceiling
+    return Schedule(grid, np.clip(usage, floor, hi))
+
+
+# ----------------------------------------------------------------------
+# one Algorithm-1 pass and the iterate-to-feasible driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AllocationIteration:
+    """One recorded pass: the plan and its trajectory diagnostic."""
+
+    usage: Schedule
+    trajectory: np.ndarray  #: boundary levels, length n_slots + 1 (t=0 … T)
+    check: TrajectoryCheck
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of :func:`allocate` with the full iteration history
+    (what the paper's Tables 2 and 4 print)."""
+
+    iterations: list[AllocationIteration]
+    feasible: bool
+    used_fallback: bool
+
+    @property
+    def usage(self) -> Schedule:
+        """The final power-allocation schedule ``P_init``."""
+        return self.iterations[-1].usage
+
+    @property
+    def trajectory(self) -> np.ndarray:
+        return self.iterations[-1].trajectory
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+
+def adjust_power_schedule(
+    charging: Schedule,
+    usage: Schedule,
+    spec: BatterySpec,
+    *,
+    initial_level: float | None = None,
+    usage_floor: float = 0.0,
+    usage_ceiling: float | None = None,
+    tol: float = 1e-9,
+) -> Schedule:
+    """One full pass of Algorithm 1; returns the adjusted usage schedule.
+
+    If the trajectory is already feasible the usage is returned unchanged.
+    """
+    initial = spec.initial if initial_level is None else initial_level
+    traj = battery_trajectory(charging, usage, initial)
+    if check_trajectory(traj, spec.c_min, spec.c_max, tol=tol).feasible:
+        return usage
+    levels = traj[:-1]  # cyclic boundary values (traj[-1] == traj[0] when balanced)
+    anchors = prune_anchors(violating_anchors(levels, spec.c_min, spec.c_max, tol=tol))
+    new_levels = rescale_trajectory(levels, anchors, spec.c_min, spec.c_max)
+    adjusted = usage_from_trajectory(
+        charging, new_levels, floor=usage_floor, ceiling=usage_ceiling
+    )
+    # Flooring/ceiling can unbalance the plan; restore ∫u = ∫c so the
+    # trajectory stays periodic for the next pass (Eq. 8 re-applied).
+    supply = charging.total_energy()
+    demand = adjusted.total_energy()
+    if demand > 0 and supply > 0 and abs(demand - supply) > tol:
+        rescaled = adjusted * (supply / demand)
+        if usage_ceiling is None or float(rescaled.values.max()) <= usage_ceiling + tol:
+            adjusted = rescaled
+    return adjusted
+
+
+def allocate(
+    charging: Schedule,
+    desired_usage: Schedule,
+    spec: BatterySpec,
+    *,
+    initial_level: float | None = None,
+    usage_floor: float = 0.0,
+    usage_ceiling: float | None = None,
+    max_iterations: int = 8,
+    tol: float = 1e-9,
+    fallback: str = "greedy",
+) -> AllocationResult:
+    """Iterate Algorithm 1 until the battery trajectory is feasible.
+
+    Parameters mirror :func:`adjust_power_schedule`; ``fallback`` selects
+    behaviour when ``max_iterations`` passes do not converge: ``"greedy"``
+    switches to :func:`greedy_feasible_allocation`, ``"none"`` returns the
+    best-effort result flagged infeasible.
+
+    Returns the full iteration history, matching the row structure of the
+    paper's Tables 2 and 4 (iteration 1 is the unadjusted Eq. 8 plan).
+    """
+    if fallback not in ("greedy", "none"):
+        raise ValueError(f"unknown fallback {fallback!r}")
+    initial = spec.initial if initial_level is None else initial_level
+    ceiling = np.inf if usage_ceiling is None else usage_ceiling
+    # iteration 1 is the raw Eq. 8 plan (what the paper's Tables 2/4
+    # print); the usage band is enforced as part of the feasibility
+    # criterion and by every subsequent pass
+    usage = desired_usage
+    iterations: list[AllocationIteration] = []
+    for _ in range(max_iterations):
+        traj = battery_trajectory(charging, usage, initial)
+        check = check_trajectory(traj, spec.c_min, spec.c_max, tol=max(tol, 1e-9))
+        iterations.append(AllocationIteration(usage, traj, check))
+        band_ok = bool(
+            np.all(usage.values >= usage_floor - 1e-9)
+            and np.all(usage.values <= ceiling + 1e-9)
+        )
+        if check.feasible and band_ok:
+            return AllocationResult(iterations, feasible=True, used_fallback=False)
+        if check.feasible:  # in-bounds trajectory but undrawable powers
+            usage = usage.clip(usage_floor, ceiling)
+            continue
+        new_usage = adjust_power_schedule(
+            charging,
+            usage,
+            spec,
+            initial_level=initial,
+            usage_floor=usage_floor,
+            usage_ceiling=usage_ceiling,
+            tol=tol,
+        )
+        if new_usage.allclose(usage, atol=1e-12):
+            break  # fixed point that is still infeasible
+        usage = new_usage
+    if fallback == "greedy":
+        usage = greedy_feasible_allocation(
+            charging,
+            desired_usage,
+            spec,
+            initial_level=initial,
+            usage_floor=usage_floor,
+            usage_ceiling=usage_ceiling,
+        )
+        traj = battery_trajectory(charging, usage, initial)
+        check = check_trajectory(traj, spec.c_min, spec.c_max, tol=1e-6)
+        iterations.append(AllocationIteration(usage, traj, check))
+        return AllocationResult(iterations, feasible=check.feasible, used_fallback=True)
+    return AllocationResult(iterations, feasible=False, used_fallback=False)
+
+
+def greedy_feasible_allocation(
+    charging: Schedule,
+    desired_usage: Schedule,
+    spec: BatterySpec,
+    *,
+    initial_level: float | None = None,
+    usage_floor: float = 0.0,
+    usage_ceiling: float | None = None,
+) -> Schedule:
+    """Backward-repair waterfill: feasible whenever feasibility is possible.
+
+    Walks the period accumulating the unclamped trajectory.  When a slot
+    end would exceed ``C_max``, the excess is burned by *raising usage in
+    that slot and earlier slots* (the paper's "dissipate some power before
+    time t for useful tasks"), constrained so no intermediate slot end
+    drops below ``C_min``.  Symmetrically, a dip below ``C_min`` is
+    repaired by *reducing earlier usage* ("the power needs to be saved
+    before time t"), constrained by ``C_max`` above.  Violations that no
+    repair can remove (the physics genuinely forces waste or undersupply)
+    are clamped at the battery bound so the rest of the plan continues
+    from the level the real battery would have.
+    """
+    grid = charging.grid
+    n = grid.n_slots
+    tau = grid.tau
+    initial = spec.initial if initial_level is None else initial_level
+    hi = np.inf if usage_ceiling is None else float(usage_ceiling)
+    usage = np.clip(desired_usage.values.copy(), usage_floor, hi)
+    c = charging.values
+
+    def repair(k: int, need: float, traj: np.ndarray, level: float, raise_usage: bool) -> float:
+        """Spread ``need`` joules of extra burn (``raise_usage``) or savings
+        over slots 0..k, honouring the opposite battery bound in between.
+
+        Cuts are proportional to the planned usage (the paper's reshaping
+        scales the plan); raises are spread over the slots with headroom.
+        Returns the repaired level at the end of slot ``k``.
+        """
+        for _ in range(k + 2):  # passes until need exhausted or no capacity
+            if need <= 1e-12:
+                break
+            # slack[j] bounds how far usage[j] may move without pushing any
+            # slot end in [j, k) across the opposite battery bound.  That is
+            # a suffix-min/max of the trajectory prefix, computed once per
+            # pass (the naive per-j slice made this loop O(k²)).
+            slack = np.full(k + 1, np.inf)
+            if raise_usage:
+                cap_vec = hi - usage[: k + 1]
+                if k > 0:
+                    suffix_min = np.minimum.accumulate(traj[:k][::-1])[::-1]
+                    slack[:k] = suffix_min - spec.c_min
+            else:
+                cap_vec = usage[: k + 1] - usage_floor
+                if k > 0:
+                    suffix_max = np.maximum.accumulate(traj[:k][::-1])[::-1]
+                    slack[:k] = spec.c_max - suffix_max
+            caps = np.maximum(
+                0.0, np.minimum(cap_vec, np.maximum(slack, 0.0) / tau)
+            )
+            eligible = caps > 1e-15
+            if not np.any(eligible):
+                break
+            if raise_usage:
+                weights = eligible.astype(float)  # spread evenly over headroom
+            else:
+                weights = np.where(eligible, usage[: k + 1], 0.0)  # proportional cut
+                if weights.sum() <= 0:
+                    weights = eligible.astype(float)
+            share = (need / tau) * weights / weights.sum()
+            du = np.minimum(share, caps)
+            # The per-slot slacks were computed independently; the *joint*
+            # application moves intermediate slot ends by the cumulative
+            # sum, so scale the whole vector down if any end would cross
+            # the opposite bound.
+            if k > 0:
+                delta = np.cumsum(du)[:k] * tau  # movement of ends 0..k−1
+                if raise_usage:
+                    margin = traj[:k] - spec.c_min
+                else:
+                    margin = spec.c_max - traj[:k]
+                active = delta > 1e-15
+                if np.any(active):
+                    factor = float(np.min(margin[active] / delta[active]))
+                    if factor < 1.0:
+                        du *= max(factor, 0.0)
+            applied = float(du.sum()) * tau
+            if applied <= 1e-15:
+                break
+            sign = 1.0 if raise_usage else -1.0
+            usage[: k + 1] += sign * du
+            # slot end e (< k) moves by the usage changes in slots 0..e
+            traj[:k] -= sign * np.cumsum(du)[:k] * tau
+            level -= sign * applied
+            need -= applied
+        return level
+
+    # traj[k] = level at end of slot k for the already-walked prefix
+    traj = np.empty(n)
+    level = float(initial)
+    for k in range(n):
+        level = level + (c[k] - usage[k]) * tau
+        if level > spec.c_max + 1e-12:
+            level = repair(k, level - spec.c_max, traj, level, raise_usage=True)
+            if level > spec.c_max:  # unavoidable waste: battery clamps
+                level = spec.c_max
+        elif level < spec.c_min - 1e-12:
+            level = repair(k, spec.c_min - level, traj, level, raise_usage=False)
+            if level < spec.c_min:  # unavoidable undersupply: battery floors
+                level = spec.c_min
+        traj[k] = level
+    return Schedule(grid, usage)

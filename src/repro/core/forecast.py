@@ -1,0 +1,222 @@
+"""Schedule estimation from observed history (paper Section 2).
+
+The paper leaves the expected schedules' origin open but names the
+methods: "the recorded charging power for the previous period or weighted
+average of the several previous periods can be used" for ``c(t)``, and
+analogous prediction for the event rate ``u(t)``.  This module supplies
+those estimators plus :class:`AdaptiveManager`, which re-estimates the
+schedules at every period boundary and replans — the outer loop around
+the per-slot Algorithm 3 feedback.
+
+Estimators consume per-slot observations through :meth:`observe` and
+produce a :class:`~repro.util.schedule.Schedule` on demand.  All are
+seeded by an initial guess so the first period is plannable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+
+import numpy as np
+
+from ..models.battery import BatterySpec
+from ..util.schedule import Schedule
+from ..util.timegrid import TimeGrid
+from ..util.validation import check_in_range
+from .manager import DynamicPowerManager, ManagerStep
+from .pareto import OperatingFrontier
+
+__all__ = [
+    "ScheduleEstimator",
+    "LastPeriodEstimator",
+    "MovingAverageEstimator",
+    "ExponentialSmoothingEstimator",
+    "AdaptiveManager",
+]
+
+
+class ScheduleEstimator(ABC):
+    """Online per-slot schedule estimator."""
+
+    def __init__(self, initial: Schedule):
+        self.grid: TimeGrid = initial.grid
+        self._initial = initial
+
+    @abstractmethod
+    def observe(self, slot: int, value: float) -> None:
+        """Record the measured value for (wrapped) slot ``slot``."""
+
+    @abstractmethod
+    def estimate(self) -> Schedule:
+        """Current best estimate of the full-period schedule."""
+
+
+class LastPeriodEstimator(ScheduleEstimator):
+    """"The recorded charging power for the previous period."
+
+    Each slot's estimate is simply the most recent observation of that
+    slot (falling back to the initial guess until one exists).
+    """
+
+    def __init__(self, initial: Schedule):
+        super().__init__(initial)
+        self._values = initial.values.copy()
+
+    def observe(self, slot: int, value: float) -> None:
+        self._values[self.grid.slot_index(slot)] = float(value)
+
+    def estimate(self) -> Schedule:
+        return Schedule(self.grid, self._values)
+
+
+class MovingAverageEstimator(ScheduleEstimator):
+    """Plain average of the last ``window`` observations per slot."""
+
+    def __init__(self, initial: Schedule, *, window: int = 4):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        super().__init__(initial)
+        self.window = int(window)
+        self._history: list[deque[float]] = [
+            deque([v], maxlen=self.window) for v in initial.values
+        ]
+
+    def observe(self, slot: int, value: float) -> None:
+        self._history[self.grid.slot_index(slot)].append(float(value))
+
+    def estimate(self) -> Schedule:
+        return Schedule(
+            self.grid, [float(np.mean(h)) for h in self._history]
+        )
+
+
+class ExponentialSmoothingEstimator(ScheduleEstimator):
+    """"Weighted average of the several previous periods."
+
+    Classic exponential smoothing per slot:
+    ``est ← (1 − α)·est + α·observation``.
+    """
+
+    def __init__(self, initial: Schedule, *, alpha: float = 0.5):
+        check_in_range("alpha", alpha, 0.0, 1.0, inclusive=False)
+        super().__init__(initial)
+        self.alpha = float(alpha)
+        self._values = initial.values.copy()
+
+    def observe(self, slot: int, value: float) -> None:
+        k = self.grid.slot_index(slot)
+        self._values[k] = (1.0 - self.alpha) * self._values[k] + self.alpha * float(
+            value
+        )
+
+    def estimate(self) -> Schedule:
+        return Schedule(self.grid, self._values)
+
+
+class AdaptiveManager:
+    """Periodic replanning on top of the per-slot manager.
+
+    At each period boundary the observed supply (and optionally demand)
+    history updates the estimators, a fresh
+    :class:`~repro.core.manager.DynamicPowerManager` is planned on the new
+    forecasts, and the run continues with the battery level carried over —
+    the outer adaptation loop that Section 2's "derived … empirically"
+    schedules imply.
+
+    Parameters
+    ----------
+    charging_estimator:
+        Estimator seeded with the initial charging forecast.
+    demand:
+        Demand shape (kept fixed, or pass ``demand_estimator``).
+    frontier, spec:
+        As for the manager.
+    demand_estimator:
+        Optional estimator for the demand shape; when given, per-slot
+        demand observations can be fed through :meth:`observe_demand`.
+    """
+
+    def __init__(
+        self,
+        charging_estimator: ScheduleEstimator,
+        demand: Schedule,
+        *,
+        frontier: OperatingFrontier,
+        spec: BatterySpec,
+        demand_estimator: ScheduleEstimator | None = None,
+        **manager_kwargs,
+    ):
+        if charging_estimator.grid != demand.grid:
+            raise ValueError("estimator and demand must share a grid")
+        self.charging_estimator = charging_estimator
+        self.demand_estimator = demand_estimator
+        self._demand = demand
+        self.frontier = frontier
+        self.spec = spec
+        self._manager_kwargs = manager_kwargs
+        self.grid = demand.grid
+        self.replans = 0
+        self._slot = 0
+        self._level = float(spec.initial)
+        self._manager = self._new_manager()
+        self._manager.start(level=self._level)
+
+    # ------------------------------------------------------------------
+    def _current_demand(self) -> Schedule:
+        if self.demand_estimator is not None:
+            return self.demand_estimator.estimate()
+        return self._demand
+
+    def _new_manager(self) -> DynamicPowerManager:
+        manager = DynamicPowerManager(
+            self.charging_estimator.estimate(),
+            self._current_demand(),
+            frontier=self.frontier,
+            spec=self.spec,
+            **self._manager_kwargs,
+        )
+        manager.plan()
+        self.replans += 1
+        return manager
+
+    # ------------------------------------------------------------------
+    @property
+    def slot(self) -> int:
+        return self._slot
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    @property
+    def manager(self) -> DynamicPowerManager:
+        """The currently active inner manager (replaced every period)."""
+        return self._manager
+
+    def decide(self):
+        return self._manager.decide()
+
+    def observe_demand(self, slot: int, value: float) -> None:
+        if self.demand_estimator is None:
+            raise RuntimeError("no demand estimator configured")
+        self.demand_estimator.observe(slot, value)
+
+    def advance(
+        self,
+        *,
+        used_power: float | None = None,
+        supplied_power: float | None = None,
+    ) -> ManagerStep:
+        """One interval: feed observations, step the inner manager, and
+        replan at period boundaries."""
+        step = self._manager.advance(
+            used_power=used_power, supplied_power=supplied_power
+        )
+        self.charging_estimator.observe(self._slot, step.supplied_power)
+        self._level = step.level
+        self._slot += 1
+        if self._slot % self.grid.n_slots == 0:
+            self._manager = self._new_manager()
+            self._manager.start(level=self._level)
+        return step

@@ -1,0 +1,165 @@
+"""Heterogeneous processor pools (paper Section 6 future work).
+
+The paper's final future-work item is "to extend the algorithm to a
+heterogeneous system in which each component has different processing
+characteristics".  This module models a pool of processor *classes* — each
+with its own count, frequency set, voltage map, power model, and a relative
+speed factor (IPC ratio at equal clock) — and builds the Pareto frontier of
+mixed configurations, which plugs straight into Algorithm 2 / the manager
+through the shared ``best_within_power`` interface.
+
+Performance uses the same serial–parallel–serial decomposition as the
+per-processor extension: the serial stages run on the fastest active unit,
+the divisible parallel stage on the aggregate speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+from ..models.performance import PerformanceModel
+from ..models.power import PowerModel
+from ..util.validation import check_positive
+
+__all__ = ["ProcessorClass", "HeteroPoint", "HeterogeneousPool"]
+
+
+@dataclass(frozen=True)
+class ProcessorClass:
+    """One kind of processor in a heterogeneous system.
+
+    ``speed_factor`` scales the work rate relative to the reference
+    processor of ``perf_model`` at equal clock (e.g. a DSP that retires the
+    FFT 1.5× faster per cycle has ``speed_factor = 1.5``).
+    """
+
+    name: str
+    count: int
+    frequencies: tuple[float, ...]
+    power_model: PowerModel
+    speed_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"count must be >= 0, got {self.count}")
+        if not self.frequencies or any(f <= 0 for f in self.frequencies):
+            raise ValueError("each class needs positive frequencies")
+        check_positive("speed_factor", self.speed_factor)
+
+
+@dataclass(frozen=True)
+class HeteroPoint:
+    """A mixed configuration: per-class ``(n, f)`` plus modeled cost/value."""
+
+    config: tuple[tuple[str, int, float], ...]  #: (class name, n active, f)
+    power: float
+    perf: float
+
+    @property
+    def n_active(self) -> int:
+        return sum(n for _, n, _ in self.config)
+
+
+class HeterogeneousPool:
+    """A pool of processor classes with a Pareto frontier over mixed configs.
+
+    Every class runs its active members at one common clock from its own
+    frequency set (the paper's same-clock simplification, applied per
+    class).  The frontier enumerates the cross product of per-class
+    ``(n, f)`` choices — fine for the handful of classes real boards have —
+    and prunes dominated points.
+    """
+
+    def __init__(
+        self,
+        classes: Sequence[ProcessorClass],
+        perf_model: PerformanceModel,
+    ):
+        if not classes:
+            raise ValueError("need at least one processor class")
+        names = [c.name for c in classes]
+        if len(set(names)) != len(names):
+            raise ValueError("processor class names must be unique")
+        self.classes = tuple(classes)
+        self.perf_model = perf_model
+        self._frontier = self._build_frontier()
+
+    # ------------------------------------------------------------------
+    def _class_choices(self, cls: ProcessorClass) -> list[tuple[int, float]]:
+        choices = [(0, 0.0)]
+        for n in range(1, cls.count + 1):
+            for f in sorted(set(cls.frequencies)):
+                choices.append((n, f))
+        return choices
+
+    def _evaluate(
+        self, config: tuple[tuple[str, int, float], ...]
+    ) -> tuple[float, float]:
+        """(power, perf) of a mixed configuration."""
+        pm = self.perf_model
+        vf = pm.vf_map
+        power = 0.0
+        speeds: list[float] = []
+        by_name = {c.name: c for c in self.classes}
+        for name, n, f in config:
+            cls = by_name[name]
+            if n > 0:
+                v = vf.optimal_voltage(f)
+                power += cls.power_model.system_power(n, f, v, n_total=cls.count)
+                f_eff = vf.effective_frequency(f, v)
+                speeds.extend([cls.speed_factor * f_eff] * n)
+            else:
+                power += cls.count * cls.power_model.standby_power
+        if not speeds:
+            return power, 0.0
+        speed = np.asarray(speeds)
+        t_serial = pm.t_serial * pm.f_ref / speed.max()
+        t_parallel = (pm.t_total - pm.t_serial) * pm.f_ref / speed.sum()
+        total = t_serial + t_parallel
+        perf = pm.c1 * pm.f_ref / total if total > 0 else float("inf")
+        return power, perf
+
+    def _build_frontier(self) -> list[HeteroPoint]:
+        per_class = [self._class_choices(c) for c in self.classes]
+        points: list[HeteroPoint] = []
+        for combo in product(*per_class):
+            config = tuple(
+                (cls.name, n, f) for cls, (n, f) in zip(self.classes, combo)
+            )
+            power, perf = self._evaluate(config)
+            points.append(HeteroPoint(config, power, perf))
+        ordered = sorted(points, key=lambda p: (p.power, -p.perf))
+        frontier: list[HeteroPoint] = []
+        best = -np.inf
+        for p in ordered:
+            if p.perf > best:
+                frontier.append(p)
+                best = p.perf
+        return frontier
+
+    # ------------------------------------------------------------------
+    @property
+    def frontier(self) -> tuple[HeteroPoint, ...]:
+        """Pareto-optimal mixed configurations, sorted by power."""
+        return tuple(self._frontier)
+
+    @property
+    def min_power(self) -> float:
+        return self._frontier[0].power
+
+    @property
+    def max_power(self) -> float:
+        return self._frontier[-1].power
+
+    def best_within_power(self, budget: float) -> HeteroPoint:
+        """Highest-performance configuration with ``power ≤ budget``."""
+        affordable = [
+            p for p in self._frontier if p.power <= budget * (1 + 1e-12)
+        ]
+        if not affordable:
+            return self._frontier[0]
+        return affordable[-1]  # frontier is power-sorted with perf increasing

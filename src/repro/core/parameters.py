@@ -1,0 +1,234 @@
+"""Slot-by-slot system-parameter schedule — paper Algorithm 2 (Section 4.2).
+
+Given the allocated power ``P_init(t)`` from Algorithm 1 and the Pareto
+frontier of discrete operating points, Algorithm 2 walks the period in
+``τ`` steps choosing the highest-performance point affordable in each
+slot, while:
+
+* folding the quantization gap between allocated and drawn power back
+  into the future allocation (lines 11, via Algorithm 3 — the drawn power
+  of a discrete point rarely equals ``P_init(t)`` exactly), and
+* gating parameter *changes* on their overhead (lines 14–22): waking a
+  processor or retuning the clock costs energy/time (``OH_n``, ``OH_f``);
+  a switch only happens when the performance gained over the slot
+  outweighs that cost — except that a switch *down* is forced when the
+  current point no longer fits the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.battery import BatterySpec
+from ..util.schedule import Schedule
+from ..util.validation import check_non_negative
+from .pareto import OperatingFrontier, OperatingPoint
+from .update import redistribute_deviation
+
+__all__ = ["SwitchingOverheads", "SlotDecision", "ParameterSchedule", "plan_parameters"]
+
+
+@dataclass(frozen=True)
+class SwitchingOverheads:
+    """Costs of changing the operating point (paper's ``OH_n``/``OH_f``).
+
+    ``per_processor_change`` is charged per processor activated *or*
+    parked; ``per_frequency_change`` once per clock retune.  Both in
+    joules.  The paper's evaluation uses zero for both ("we assumed no
+    overheads"); the ablation benches sweep them.
+    """
+
+    per_processor_change: float = 0.0
+    per_frequency_change: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("per_processor_change", self.per_processor_change)
+        check_non_negative("per_frequency_change", self.per_frequency_change)
+
+    def cost(self, old: OperatingPoint, new: OperatingPoint) -> float:
+        """Energy to move from ``old`` to ``new`` (J)."""
+        energy = self.per_processor_change * abs(new.n - old.n)
+        if new.f != old.f and new.n > 0 and old.n > 0:
+            energy += self.per_frequency_change
+        elif new.f != old.f and (new.n > 0) != (old.n > 0):
+            # park/unpark implies a clock change only for the waking side
+            energy += self.per_frequency_change if new.n > 0 else 0.0
+        return energy
+
+    @property
+    def is_free(self) -> bool:
+        return self.per_processor_change == 0.0 and self.per_frequency_change == 0.0
+
+
+@dataclass(frozen=True)
+class SlotDecision:
+    """The operating point chosen for one slot."""
+
+    slot: int  #: absolute slot index within the planning window
+    point: OperatingPoint  #: chosen discrete setting
+    allocated_power: float  #: ``P_init`` at decision time (after carry-over)
+    switched: bool  #: did the setting change entering this slot?
+    overhead_energy: float  #: switching energy charged this slot (J)
+
+
+@dataclass(frozen=True)
+class ParameterSchedule:
+    """Algorithm 2 output: one decision per slot plus plan diagnostics."""
+
+    decisions: tuple[SlotDecision, ...]
+    tau: float
+
+    def __post_init__(self) -> None:
+        if not self.decisions:
+            raise ValueError("a parameter schedule needs at least one slot")
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def __iter__(self):
+        return iter(self.decisions)
+
+    def __getitem__(self, i: int) -> SlotDecision:
+        return self.decisions[i]
+
+    def powers(self) -> np.ndarray:
+        """Drawn power per slot, including switching energy smeared over τ."""
+        return np.array(
+            [d.point.power + d.overhead_energy / self.tau for d in self.decisions]
+        )
+
+    def perfs(self) -> np.ndarray:
+        return np.array([d.point.perf for d in self.decisions])
+
+    def allocated(self) -> np.ndarray:
+        return np.array([d.allocated_power for d in self.decisions])
+
+    def settings(self) -> list[tuple[int, float]]:
+        """``(n, f)`` per slot — the tuple the paper reports."""
+        return [(d.point.n, d.point.f) for d in self.decisions]
+
+    def total_energy(self) -> float:
+        """Total drawn energy over the plan (J), overheads included."""
+        return float(self.powers().sum() * self.tau)
+
+    def total_perf(self) -> float:
+        """Performance integrated over the plan (``Σ perf·τ``)."""
+        return float(self.perfs().sum() * self.tau)
+
+    def switch_count(self) -> int:
+        return sum(1 for d in self.decisions if d.switched)
+
+
+def plan_parameters(
+    pinit: Schedule | np.ndarray,
+    frontier: OperatingFrontier,
+    *,
+    tau: float | None = None,
+    overheads: SwitchingOverheads | None = None,
+    charging: Schedule | np.ndarray | None = None,
+    spec: BatterySpec | None = None,
+    initial_level: float | None = None,
+    initial_point: OperatingPoint | None = None,
+    usage_ceiling: float | None = None,
+) -> ParameterSchedule:
+    """Algorithm 2 lines 6–22: choose ``(n, f, v)`` for every slot.
+
+    Parameters
+    ----------
+    pinit:
+        The allocated power per slot (Algorithm 1 output), as a
+        :class:`Schedule` or plain array (then ``tau`` is required).
+    frontier:
+        Pareto-pruned operating points (lines 1–5, prebuilt).
+    overheads:
+        Switching costs; defaults to free switching (the paper's setting).
+    charging, spec, initial_level:
+        Optional expected-charging context enabling the Algorithm 3
+        trajectory horizon for the quantization carry-over; without them
+        the carry spreads over the remaining window.
+    initial_point:
+        The point active before slot 0 (for overhead gating); defaults to
+        the parked point (cheapest on the frontier).
+    usage_ceiling:
+        Upper bound when re-spreading carry-over power (defaults to the
+        frontier's max power).
+
+    Notes
+    -----
+    The switch test follows the paper: a *beneficial* switch must earn more
+    performance over the slot than the overhead costs
+    (``ΔPerf·τ > OH``); a switch *down* is forced when the incumbent no
+    longer fits the slot's allocation.
+    """
+    if isinstance(pinit, Schedule):
+        alloc = pinit.values.copy()
+        tau = pinit.grid.tau
+    else:
+        alloc = np.asarray(pinit, dtype=float).copy()
+        if tau is None:
+            raise ValueError("tau is required when pinit is a plain array")
+    if isinstance(charging, Schedule):
+        charging_arr = charging.values.copy()
+    elif charging is not None:
+        charging_arr = np.asarray(charging, dtype=float)
+        if charging_arr.shape != alloc.shape:
+            raise ValueError("charging window must match pinit window")
+    else:
+        charging_arr = None
+    overheads = overheads or SwitchingOverheads()
+    ceiling = frontier.max_power if usage_ceiling is None else usage_ceiling
+    current = initial_point or frontier.points[0]
+    level = initial_level
+    decisions: list[SlotDecision] = []
+
+    for k in range(alloc.size):
+        budget = alloc[k]
+        candidate = frontier.best_within_power(budget)
+        switched = False
+        overhead_energy = 0.0
+        if candidate != current:
+            if current.power > budget + 1e-12:
+                # incumbent no longer affordable: forced move
+                switched = True
+            elif (candidate.perf - current.perf) * tau > overheads.cost(current, candidate):
+                switched = True
+            if switched:
+                overhead_energy = overheads.cost(current, candidate)
+                current = candidate
+        decisions.append(
+            SlotDecision(
+                slot=k,
+                point=current,
+                allocated_power=budget,
+                switched=switched,
+                overhead_energy=overhead_energy,
+            )
+        )
+        # line 11: fold the quantization gap into the remaining plan
+        drawn = current.power + overhead_energy / tau
+        e_diff = (budget - drawn) * tau
+        future = alloc[k + 1 :]
+        if future.size and e_diff != 0.0:
+            if charging_arr is not None and spec is not None and level is not None:
+                level_next = spec.clamp(level + (charging_arr[k] - drawn) * tau)
+                result = redistribute_deviation(
+                    future,
+                    e_diff,
+                    charging=charging_arr[k + 1 :],
+                    initial_level=level_next,
+                    spec=spec,
+                    tau=tau,
+                    ceiling=ceiling,
+                )
+                level = level_next
+            else:
+                result = redistribute_deviation(
+                    future, e_diff, tau=tau, ceiling=ceiling
+                )
+            alloc[k + 1 :] = result.pinit
+        elif charging_arr is not None and spec is not None and level is not None:
+            level = spec.clamp(level + (charging_arr[k] - drawn) * tau)
+
+    return ParameterSchedule(tuple(decisions), tau)

@@ -1,0 +1,179 @@
+"""Discrete operating points and Pareto pruning (Algorithm 2, lines 1–5).
+
+Real systems choose from a finite set: ``n ∈ {0, …, N}`` processors and
+``f ∈ F`` pre-selected frequencies, with the voltage tied to the frequency
+by Eq. 11.  Algorithm 2 first tabulates every ``(n, f)`` pair's
+``(power, performance)`` and removes pairs that cost at least as much
+power while delivering no more performance (lines 3–5).  What remains is
+the Pareto frontier the slot-by-slot scheduler queries with
+:meth:`OperatingFrontier.best_within_power`.
+
+The frontier is immutable and sorted by power, so budget lookups are a
+single ``searchsorted``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..models.performance import PerformanceModel
+from ..models.power import PowerModel
+from ..util.validation import check_non_negative
+
+__all__ = ["OperatingPoint", "OperatingFrontier", "build_operating_points", "pareto_prune"]
+
+
+@dataclass(frozen=True, order=True)
+class OperatingPoint:
+    """One discrete system setting with its modeled cost and value.
+
+    Ordering is by ``(power, perf)`` so sorted containers behave sensibly.
+    """
+
+    power: float  #: modeled system power (W), including stand-by floors
+    perf: float  #: modeled Eq. 3 performance
+    n: int  #: active processors
+    f: float  #: common clock frequency (Hz); 0 when parked
+    v: float  #: supply voltage (V); 0 when parked
+
+    def dominates(self, other: "OperatingPoint") -> bool:
+        """True if this point is at least as good on both axes and strictly
+        better on one (Algorithm 2's removal test, lines 3–5)."""
+        return (
+            self.power <= other.power
+            and self.perf >= other.perf
+            and (self.power < other.power or self.perf > other.perf)
+        )
+
+
+def build_operating_points(
+    n_processors: int,
+    frequencies: Sequence[float],
+    perf_model: PerformanceModel,
+    power_model: PowerModel,
+    *,
+    count_standby: bool = True,
+) -> list[OperatingPoint]:
+    """Algorithm 2 lines 1–2: the full ``(n, f)`` → ``(power, perf)`` table.
+
+    Voltage per frequency comes from Eq. 11 (``perf_model.vf_map``).  The
+    parked point (``n = 0``) is always included — its power is the stand-by
+    floor of the whole pool when ``count_standby`` is set.
+    """
+    if n_processors < 1:
+        raise ValueError(f"need at least one processor, got {n_processors}")
+    freqs = sorted({float(f) for f in frequencies if f > 0})
+    if not freqs:
+        raise ValueError("need at least one positive frequency")
+    vf = perf_model.vf_map
+    total = n_processors if count_standby else None
+    points: list[OperatingPoint] = []
+    parked_power = (
+        power_model.system_power(0, 0.0, vf.v_min, n_total=n_processors)
+        if count_standby
+        else 0.0
+    )
+    points.append(OperatingPoint(power=parked_power, perf=0.0, n=0, f=0.0, v=0.0))
+    for n in range(1, n_processors + 1):
+        for f in freqs:
+            v = vf.optimal_voltage(f)
+            power = power_model.system_power(n, f, v, n_total=total if total else n)
+            perf = perf_model.perf(n, f, v)
+            points.append(OperatingPoint(power=power, perf=perf, n=n, f=f, v=v))
+    return points
+
+
+def pareto_prune(points: Iterable[OperatingPoint]) -> list[OperatingPoint]:
+    """Algorithm 2 lines 3–5: drop dominated points.
+
+    Returns the frontier sorted by increasing power (and strictly
+    increasing performance).  Of duplicates on both axes, one survivor is
+    kept.  O(k log k) via a single sorted sweep.
+    """
+    ordered = sorted(points, key=lambda p: (p.power, -p.perf))
+    frontier: list[OperatingPoint] = []
+    best_perf = -np.inf
+    for p in ordered:
+        if p.perf > best_perf:
+            frontier.append(p)
+            best_perf = p.perf
+    return frontier
+
+
+class OperatingFrontier:
+    """The pruned, power-sorted frontier with budget lookups."""
+
+    def __init__(self, points: Iterable[OperatingPoint]):
+        self._points = pareto_prune(points)
+        if not self._points:
+            raise ValueError("frontier cannot be empty")
+        self._powers = [p.power for p in self._points]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        n_processors: int,
+        frequencies: Sequence[float],
+        perf_model: PerformanceModel,
+        power_model: PowerModel,
+        *,
+        count_standby: bool = True,
+    ) -> "OperatingFrontier":
+        """Tabulate + prune in one call (Algorithm 2 lines 1–5)."""
+        return cls(
+            build_operating_points(
+                n_processors,
+                frequencies,
+                perf_model,
+                power_model,
+                count_standby=count_standby,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> tuple[OperatingPoint, ...]:
+        """Frontier points, sorted by increasing power."""
+        return tuple(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    @property
+    def min_power(self) -> float:
+        return self._points[0].power
+
+    @property
+    def max_power(self) -> float:
+        return self._points[-1].power
+
+    @property
+    def max_perf_point(self) -> OperatingPoint:
+        return self._points[-1]
+
+    # ------------------------------------------------------------------
+    def best_within_power(self, budget: float) -> OperatingPoint:
+        """Highest-performance point with ``power ≤ budget``.
+
+        Budgets below the cheapest point return that cheapest point (the
+        system cannot draw less than its stand-by floor; the energy
+        deficit is reconciled by Algorithm 3's carry-over).
+        """
+        check_non_negative("budget", budget)
+        idx = bisect.bisect_right(self._powers, budget * (1 + 1e-12)) - 1
+        return self._points[max(idx, 0)]
+
+    def cheapest_with_perf(self, perf: float) -> OperatingPoint | None:
+        """Lowest-power point with ``perf ≥ perf``; None if unattainable."""
+        for p in self._points:  # sorted by power, perf increasing
+            if p.perf >= perf - 1e-12:
+                return p
+        return None

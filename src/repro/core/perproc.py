@@ -1,0 +1,200 @@
+"""Per-processor frequency/voltage assignment (paper Section 6 future work).
+
+The paper's evaluation locks all processors to a common clock; its stated
+future work is "to extend the algorithm to allow different frequency and
+voltage for each processor".  This module implements that extension for the
+serial–parallel–serial task graph of Figure 2:
+
+* the **serial stages** run on the fastest processor, so they take
+  ``Ts · f_ref / max(f_eff)``;
+* the **parallel stage** is divisible work spread proportionally to speed,
+  finishing in ``(Tt − Ts) · f_ref / Σ f_eff``.
+
+Because processors are homogeneous, an assignment is a *multiset* of
+frequencies.  The full multiset space is tiny
+(``C(n + |F|, |F|)`` — 120 points for the PAMA 7-worker, 4-level case), so
+the frontier is built exhaustively and Pareto-pruned; a greedy marginal
+perf-per-watt builder is also provided (and tested against the exhaustive
+one) because it is the piece that scales to large ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations_with_replacement
+from typing import Sequence
+
+import numpy as np
+
+from ..models.performance import PerformanceModel
+from ..models.power import PowerModel
+
+__all__ = [
+    "PerProcessorPoint",
+    "assignment_perf",
+    "assignment_power",
+    "build_perproc_frontier",
+    "greedy_perproc_frontier",
+    "best_assignment_within_power",
+]
+
+
+@dataclass(frozen=True)
+class PerProcessorPoint:
+    """One per-processor frequency assignment with its modeled cost/value."""
+
+    freqs: tuple[float, ...]  #: per-processor clocks, descending; 0 = parked
+    power: float
+    perf: float
+
+    @property
+    def n_active(self) -> int:
+        return sum(1 for f in self.freqs if f > 0)
+
+    def dominates(self, other: "PerProcessorPoint") -> bool:
+        return (
+            self.power <= other.power
+            and self.perf >= other.perf
+            and (self.power < other.power or self.perf > other.perf)
+        )
+
+
+def assignment_perf(
+    freqs: Sequence[float],
+    perf_model: PerformanceModel,
+) -> float:
+    """Eq. 3 generalized to per-processor clocks (see module docstring).
+
+    Voltage per processor follows Eq. 11.  Returns performance in the same
+    ``c1``-scaled units as :meth:`PerformanceModel.perf`.
+    """
+    vf = perf_model.vf_map
+    eff = np.array(
+        [vf.effective_frequency(f, vf.optimal_voltage(f)) for f in freqs if f > 0]
+    )
+    if eff.size == 0:
+        return 0.0
+    t_serial = perf_model.t_serial * perf_model.f_ref / eff.max()
+    t_parallel = (perf_model.t_total - perf_model.t_serial) * perf_model.f_ref / eff.sum()
+    total = t_serial + t_parallel
+    if total <= 0:
+        return float("inf")
+    # normalize like Eq. 3: perf = c1·f_ref / task_time_at_ref-units
+    return perf_model.c1 * perf_model.f_ref / total
+
+
+def assignment_power(
+    freqs: Sequence[float],
+    power_model: PowerModel,
+    perf_model: PerformanceModel,
+    *,
+    n_total: int | None = None,
+) -> float:
+    """Eq. 5 power of an assignment, with Eq. 11 voltages and stand-by
+    floors for parked processors (``n_total`` defaults to ``len(freqs)``)."""
+    vf = perf_model.vf_map
+    volts = [vf.optimal_voltage(f) if f > 0 else 0.0 for f in freqs]
+    base = power_model.heterogeneous_power(list(freqs), volts)
+    extra_parked = 0 if n_total is None else n_total - len(freqs)
+    if extra_parked < 0:
+        raise ValueError("n_total smaller than the assignment length")
+    return base + extra_parked * power_model.standby_power
+
+
+def build_perproc_frontier(
+    n_processors: int,
+    frequencies: Sequence[float],
+    perf_model: PerformanceModel,
+    power_model: PowerModel,
+) -> list[PerProcessorPoint]:
+    """Exhaustive multiset enumeration + Pareto prune, sorted by power."""
+    if n_processors < 1:
+        raise ValueError("need at least one processor")
+    levels = sorted({0.0} | {float(f) for f in frequencies if f > 0}, reverse=True)
+    points = []
+    for combo in combinations_with_replacement(levels, n_processors):
+        freqs = tuple(sorted(combo, reverse=True))
+        points.append(
+            PerProcessorPoint(
+                freqs=freqs,
+                power=assignment_power(freqs, power_model, perf_model),
+                perf=assignment_perf(freqs, perf_model),
+            )
+        )
+    return _prune(points)
+
+
+def greedy_perproc_frontier(
+    n_processors: int,
+    frequencies: Sequence[float],
+    perf_model: PerformanceModel,
+    power_model: PowerModel,
+) -> list[PerProcessorPoint]:
+    """Greedy frontier: repeatedly apply the single-processor upgrade with
+    the best marginal perf-per-watt.
+
+    Scales as ``O(n·|F|)`` points instead of the exhaustive multiset count.
+    May miss interior frontier points on pathological models; the tests
+    compare it against :func:`build_perproc_frontier` on the PAMA model,
+    where it recovers the full frontier.
+    """
+    levels = sorted({float(f) for f in frequencies if f > 0})
+    state = [0.0] * n_processors  # descending by construction
+
+    def mk_point(freqs: list[float]) -> PerProcessorPoint:
+        t = tuple(sorted(freqs, reverse=True))
+        return PerProcessorPoint(
+            t,
+            assignment_power(t, power_model, perf_model),
+            assignment_perf(t, perf_model),
+        )
+
+    points = [mk_point(state)]
+    while True:
+        current = points[-1]
+        best: tuple[float, list[float]] | None = None
+        for i in range(n_processors):
+            f_now = state[i]
+            # next level up for this processor
+            ups = [f for f in levels if f > f_now]
+            if not ups:
+                continue
+            trial = state.copy()
+            trial[i] = ups[0]
+            cand = mk_point(trial)
+            dp = cand.power - current.power
+            dperf = cand.perf - current.perf
+            if dp <= 0:
+                ratio = float("inf") if dperf > 0 else -float("inf")
+            else:
+                ratio = dperf / dp
+            if best is None or ratio > best[0]:
+                best = (ratio, trial)
+        if best is None:
+            break
+        state = best[1]
+        points.append(mk_point(state))
+    return _prune(points)
+
+
+def best_assignment_within_power(
+    frontier: Sequence[PerProcessorPoint],
+    budget: float,
+) -> PerProcessorPoint:
+    """Highest-performance assignment with ``power ≤ budget`` (falls back to
+    the cheapest point for budgets below the stand-by floor)."""
+    affordable = [p for p in frontier if p.power <= budget * (1 + 1e-12)]
+    if not affordable:
+        return min(frontier, key=lambda p: p.power)
+    return max(affordable, key=lambda p: p.perf)
+
+
+def _prune(points: list[PerProcessorPoint]) -> list[PerProcessorPoint]:
+    ordered = sorted(points, key=lambda p: (p.power, -p.perf))
+    out: list[PerProcessorPoint] = []
+    best = -np.inf
+    for p in ordered:
+        if p.perf > best:
+            out.append(p)
+            best = p.perf
+    return out

@@ -1,0 +1,82 @@
+"""Surplus function and battery trajectory (paper Eqs. 9–10).
+
+With charging ``c(t)`` and (normalized) usage ``u_new(t)``, the surplus
+``c(t) − u_new(t)`` (Eq. 9) integrates to the stored-energy trajectory::
+
+    P_original(t) = ∫₀ᵗ (c(v) − u_new(v)) dv                (Eq. 10)
+
+— the battery level relative to its starting charge, *ignoring* the
+``[C_min, C_max]`` limits.  Algorithm 1 inspects this unclamped trajectory:
+wherever it would exceed ``C_max`` energy is being offered that the battery
+cannot store (waste), and wherever it would dip below ``C_min`` the plan
+would brown out.  The trajectory is evaluated at slot boundaries — for
+piecewise-constant schedules it is piecewise-linear, so slot boundaries are
+exactly where its extrema live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.schedule import Schedule
+
+__all__ = ["surplus", "battery_trajectory", "TrajectoryCheck", "check_trajectory"]
+
+
+def surplus(charging: Schedule, usage: Schedule) -> Schedule:
+    """Eq. 9: the net inflow ``c(t) − u_new(t)``."""
+    if charging.grid != usage.grid:
+        raise ValueError("charging and usage schedules must share a time grid")
+    return charging - usage
+
+
+def battery_trajectory(
+    charging: Schedule,
+    usage: Schedule,
+    initial: float = 0.0,
+) -> np.ndarray:
+    """Eq. 10 sampled at slot *ends*, offset by the ``initial`` charge.
+
+    Returns an array of length ``n_slots + 1``: index 0 is the level at
+    ``t = 0`` (``initial``) and index ``k`` the level at the end of slot
+    ``k−1``.  Including the start point matters for extremum detection —
+    the paper's Tables 2/4 print only the slot-end samples, but the period
+    start can itself be the binding minimum.
+    """
+    s = surplus(charging, usage)
+    return np.concatenate(([initial], s.cumulative_integral(initial)))
+
+
+@dataclass(frozen=True)
+class TrajectoryCheck:
+    """Feasibility verdict for a trajectory against ``[C_min, C_max]``."""
+
+    feasible: bool
+    min_level: float
+    max_level: float
+    worst_undershoot: float  #: max(C_min − level) over the period, ≥ 0
+    worst_overshoot: float  #: max(level − C_max) over the period, ≥ 0
+
+
+def check_trajectory(
+    trajectory: np.ndarray,
+    c_min: float,
+    c_max: float,
+    *,
+    tol: float = 1e-9,
+) -> TrajectoryCheck:
+    """Does the trajectory stay within the battery window (± ``tol``)?"""
+    traj = np.asarray(trajectory, dtype=float)
+    lo = float(traj.min())
+    hi = float(traj.max())
+    undershoot = max(0.0, c_min - lo)
+    overshoot = max(0.0, hi - c_max)
+    return TrajectoryCheck(
+        feasible=(undershoot <= tol and overshoot <= tol),
+        min_level=lo,
+        max_level=hi,
+        worst_undershoot=undershoot,
+        worst_overshoot=overshoot,
+    )

@@ -1,0 +1,72 @@
+"""Weighted Power Usage Function (paper Eqs. 7–8).
+
+The first step of the initial power allocation (Section 4.1) shapes the
+*desired* power draw from the expected event rate ``u(t)`` and the user
+weight ``w(t)``::
+
+    WPUF(t) = u(t) · w(t)                                   (Eq. 7)
+
+and then rescales it so that the energy drawn over one period exactly
+matches the energy the external source supplies::
+
+    u_new(t) = WPUF(t) · ∫c dt / ∫WPUF dt                   (Eq. 8)
+
+After this normalization the *net* battery change over a period is zero —
+the precondition for the trajectory-reshaping of Algorithm 1, which only
+moves energy *within* the period.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.schedule import Schedule
+
+__all__ = ["weighted_power_usage", "normalize_to_supply", "desired_usage"]
+
+
+def weighted_power_usage(event_rate: Schedule, weight: Schedule) -> Schedule:
+    """Eq. 7: pointwise product ``u(t)·w(t)``.
+
+    Both schedules must share a grid; negative rates or weights are
+    rejected because the product is a power shape.
+    """
+    if event_rate.grid != weight.grid:
+        raise ValueError("event rate and weight must share a time grid")
+    if np.any(event_rate.values < 0):
+        raise ValueError("event rate schedule must be non-negative")
+    if np.any(weight.values < 0):
+        raise ValueError("weight function must be non-negative")
+    return event_rate * weight
+
+
+def normalize_to_supply(wpuf: Schedule, charging: Schedule) -> Schedule:
+    """Eq. 8: scale the WPUF so its period energy equals the supplied energy.
+
+    Raises :class:`ValueError` for a zero WPUF with nonzero supply (the
+    shape gives the algorithm nothing to scale) — callers wanting an
+    always-idle plan should construct it explicitly.
+    """
+    if wpuf.grid != charging.grid:
+        raise ValueError("WPUF and charging schedule must share a time grid")
+    if np.any(charging.values < 0):
+        raise ValueError("charging schedule must be non-negative")
+    supply = charging.total_energy()
+    demand_shape = wpuf.total_energy()
+    if demand_shape == 0:
+        if supply == 0:
+            return wpuf  # trivially balanced: nothing in, nothing out
+        raise ValueError(
+            "WPUF is identically zero but the source supplies energy; "
+            "there is no shape to scale (Eq. 8 divides by ∫ w·u = 0)"
+        )
+    return wpuf * (supply / demand_shape)
+
+
+def desired_usage(
+    event_rate: Schedule,
+    weight: Schedule,
+    charging: Schedule,
+) -> Schedule:
+    """Convenience pipeline: Eq. 7 followed by Eq. 8 (``u_new``)."""
+    return normalize_to_supply(weighted_power_usage(event_rate, weight), charging)

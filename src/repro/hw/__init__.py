@@ -1,0 +1,22 @@
+"""PAMA board substrate: processors, FPGA clocking, ring, meter, board."""
+
+from .processor import Processor, ProcessorConfig, ProcessorMode
+from .fpga import ClockController, FrequencyChange
+from .ring import RingMessage, RingNetwork
+from .meter import PowerMeter, PowerSample
+from .board import AppliedSetting, PamaBoard, default_pama_config
+
+__all__ = [
+    "Processor",
+    "ProcessorConfig",
+    "ProcessorMode",
+    "ClockController",
+    "FrequencyChange",
+    "RingNetwork",
+    "RingMessage",
+    "PowerMeter",
+    "PowerSample",
+    "PamaBoard",
+    "AppliedSetting",
+    "default_pama_config",
+]

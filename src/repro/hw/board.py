@@ -1,0 +1,229 @@
+"""The PAMA board: processors + FPGAs + ring + power meter (Section 5).
+
+Eight M32R/D PIM chips and two FPGAs; processor 0 is the controller that
+runs the power manager and commands the others over the ring (the paper:
+"the controller processor computes P_init … sends frequency and
+active/stand-by mode change commands to other processors; each processor
+checks the command from the controller after each computation").
+
+:class:`PamaBoard` owns the pieces and exposes the operation the manager
+needs: *apply an operating point* — activate ``n`` workers at clock ``f``,
+park the rest — accounting the command messages, the FPGA retune protocol
+and the wake latencies, and *advance time*, integrating energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.power import PowerModel
+from ..util.validation import check_non_negative
+from .fpga import ClockController
+from .meter import PowerMeter
+from .processor import Processor, ProcessorConfig, ProcessorMode
+from .ring import RingNetwork
+
+__all__ = ["AppliedSetting", "PamaBoard"]
+
+MHZ = 1e6
+
+#: Default PAMA chip description (see scenarios.paper for provenance).
+def default_pama_config(power_model: PowerModel) -> ProcessorConfig:
+    """The M32R/D configuration used throughout the paper's evaluation."""
+    return ProcessorConfig(
+        frequencies=(20 * MHZ, 40 * MHZ, 80 * MHZ),
+        voltage=3.3,
+        power_model=power_model,
+        wake_latency_s=0.0,  # the paper assumes no overheads in Section 5
+        mode_change_energy_j=0.0,
+    )
+
+
+@dataclass(frozen=True)
+class AppliedSetting:
+    """Result of commanding a new operating point onto the board."""
+
+    n_active: int
+    frequency: float
+    command_messages: int  #: ring messages the controller sent
+    overhead_time_s: float  #: worst-case worker-unavailable time
+    overhead_energy_j: float  #: retune/wake energy
+
+
+class PamaBoard:
+    """The board: one controller chip plus a pool of worker chips."""
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        *,
+        n_processors: int = 8,
+        controller_id: int = 0,
+        controller_frequency: float | None = None,
+        ring: RingNetwork | None = None,
+        clock: ClockController | None = None,
+    ):
+        if n_processors < 2:
+            raise ValueError("the board needs a controller and at least one worker")
+        if not (0 <= controller_id < n_processors):
+            raise ValueError("controller_id outside the processor range")
+        self.config = config
+        self.controller_id = controller_id
+        self.processors = [Processor(i, config) for i in range(n_processors)]
+        self.ring = ring or RingNetwork(n_processors)
+        self.clock = clock or ClockController()
+        self.meter = PowerMeter(lambda: self.total_power())
+        self._now = 0.0
+        # the controller chip is always on, at its own (lowest) clock
+        ctl = self.controller
+        ctl.set_mode(ProcessorMode.ACTIVE)
+        ctl.set_frequency(
+            config.f_min if controller_frequency is None else controller_frequency
+        )
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def controller(self) -> Processor:
+        return self.processors[self.controller_id]
+
+    @property
+    def workers(self) -> list[Processor]:
+        return [p for p in self.processors if p.proc_id != self.controller_id]
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.processors) - 1
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # ------------------------------------------------------------------
+    # power
+    # ------------------------------------------------------------------
+    def total_power(self, *, include_controller: bool = True) -> float:
+        """Instantaneous board draw (W)."""
+        total = sum(p.power for p in self.workers)
+        if include_controller:
+            total += self.controller.power
+        return total
+
+    def total_energy(self) -> float:
+        """Cumulative energy of all chips (J)."""
+        return sum(p.energy_consumed for p in self.processors)
+
+    # ------------------------------------------------------------------
+    # commanding
+    # ------------------------------------------------------------------
+    def apply_setting(self, n_active: int, frequency: float) -> AppliedSetting:
+        """Activate ``n_active`` workers at ``frequency``, park the rest.
+
+        Mirrors the paper's protocol: the controller sends one command per
+        worker whose state must change; clock changes route through the
+        FPGA (write → stand-by → 10-cycle wake); parked workers go to
+        stand-by.  Returns the accounted overheads.
+        """
+        if not (0 <= n_active <= self.n_workers):
+            raise ValueError(
+                f"n_active must be within [0, {self.n_workers}], got {n_active}"
+            )
+        frequency = (
+            self.config.validate_frequency(frequency) if n_active else self.config.f_min
+        )
+        messages = 0
+        worst_latency = 0.0
+        energy = 0.0
+        for idx, worker in enumerate(self.workers):
+            want_active = idx < n_active
+            latency = 0.0
+            changed = False
+            if want_active:
+                if worker.frequency != frequency:
+                    record = self.clock.change_frequency(worker, frequency)
+                    latency += record.latency_s
+                    energy += record.energy_j
+                    changed = True
+                if worker.mode is not ProcessorMode.ACTIVE:
+                    latency += worker.set_mode(ProcessorMode.ACTIVE)
+                    changed = True
+            else:
+                if worker.mode is not ProcessorMode.STANDBY:
+                    worker.set_mode(ProcessorMode.STANDBY)
+                    changed = True
+            if changed:
+                messages += 1
+                self.ring.send(self.controller_id, worker.proc_id, 4, self._now)
+            worst_latency = max(worst_latency, latency)
+        return AppliedSetting(
+            n_active=n_active,
+            frequency=frequency,
+            command_messages=messages,
+            overhead_time_s=worst_latency,
+            overhead_energy_j=energy,
+        )
+
+    def apply_assignment(self, frequencies) -> AppliedSetting:
+        """Per-processor commanding (the Section 6 extension).
+
+        ``frequencies`` gives one clock per worker (0 = park); workers
+        beyond the list are parked.  Same protocol accounting as
+        :meth:`apply_setting`, but each worker may run a different clock.
+        """
+        freqs = list(frequencies)
+        if len(freqs) > self.n_workers:
+            raise ValueError(
+                f"assignment names {len(freqs)} workers; board has {self.n_workers}"
+            )
+        freqs += [0.0] * (self.n_workers - len(freqs))
+        messages = 0
+        worst_latency = 0.0
+        energy = 0.0
+        n_active = 0
+        top_f = self.config.f_min
+        for worker, f in zip(self.workers, freqs):
+            latency = 0.0
+            changed = False
+            if f > 0:
+                f = self.config.validate_frequency(f)
+                n_active += 1
+                top_f = max(top_f, f)
+                if worker.frequency != f:
+                    record = self.clock.change_frequency(worker, f)
+                    latency += record.latency_s
+                    energy += record.energy_j
+                    changed = True
+                if worker.mode is not ProcessorMode.ACTIVE:
+                    latency += worker.set_mode(ProcessorMode.ACTIVE)
+                    changed = True
+            elif worker.mode is not ProcessorMode.STANDBY:
+                worker.set_mode(ProcessorMode.STANDBY)
+                changed = True
+            if changed:
+                messages += 1
+                self.ring.send(self.controller_id, worker.proc_id, 4, self._now)
+            worst_latency = max(worst_latency, latency)
+        return AppliedSetting(
+            n_active=n_active,
+            frequency=top_f if n_active else self.config.f_min,
+            command_messages=messages,
+            overhead_time_s=worst_latency,
+            overhead_energy_j=energy,
+        )
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    def run_for(self, dt: float, *, busy_fraction: float = 1.0) -> float:
+        """Advance the whole board ``dt`` seconds; returns energy used (J)."""
+        check_non_negative("dt", dt)
+        energy = 0.0
+        for p in self.processors:
+            energy += p.run_for(dt, busy_fraction=busy_fraction if p.is_active else 0.0)
+        self._now += dt
+        self.meter.sample(self._now)
+        return energy
+
+    def active_workers(self) -> int:
+        return sum(1 for w in self.workers if w.is_active)

@@ -1,0 +1,197 @@
+"""M32R/D Processor-In-Memory model (paper Section 5).
+
+The PAMA board's compute elements are Mitsubishi M32R/D chips — a 32-bit
+core with 2 MB of on-chip DRAM and no FPU (which is why the paper's FFT is
+fixed-point).  Each chip:
+
+* runs at one of the clocks 20/40/80 MHz (selected by the adjacent FPGA),
+* sits in one of three modes — **active** (full circuit, 546 mW typical at
+  80 MHz), **sleep** (memory only, 393 mW), **stand-by** (interrupt
+  monitor only, 6.6 mW) — and
+* pays a latency to change mode or clock (the clock change routes through
+  the FPGA: write the divisor, drop to stand-by, and get woken 10 cycles
+  later — see :mod:`repro.hw.fpga`).
+
+The model tracks mode, clock, accumulated busy cycles, and energy, using a
+:class:`~repro.models.power.PowerModel` for wattage so the simulator's
+energy books agree with the planner's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..models.power import PowerModel
+from ..util.validation import check_non_negative, check_positive
+
+__all__ = ["ProcessorMode", "ProcessorConfig", "Processor"]
+
+
+class ProcessorMode(Enum):
+    """M32R/D operating modes (datasheet §: power management)."""
+
+    ACTIVE = "active"  #: full circuit running
+    SLEEP = "sleep"  #: DRAM refreshed, core stopped
+    STANDBY = "standby"  #: interrupt monitor only
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Static description of one processor chip."""
+
+    frequencies: tuple[float, ...]  #: selectable clocks (Hz)
+    voltage: float  #: supply voltage (V); fixed 3.3 V on PAMA
+    power_model: PowerModel
+    wake_latency_s: float = 0.0  #: stand-by → active delay
+    mode_change_energy_j: float = 0.0  #: energy per mode transition
+
+    def __post_init__(self) -> None:
+        if not self.frequencies or any(f <= 0 for f in self.frequencies):
+            raise ValueError("need positive selectable frequencies")
+        check_positive("voltage", self.voltage)
+        check_non_negative("wake_latency_s", self.wake_latency_s)
+        check_non_negative("mode_change_energy_j", self.mode_change_energy_j)
+
+    @property
+    def f_max(self) -> float:
+        return max(self.frequencies)
+
+    @property
+    def f_min(self) -> float:
+        return min(self.frequencies)
+
+    def validate_frequency(self, f: float) -> float:
+        for candidate in self.frequencies:
+            if abs(candidate - f) <= 1e-6 * candidate:
+                return candidate
+        raise ValueError(
+            f"frequency {f} not in the selectable set {self.frequencies}"
+        )
+
+
+class Processor:
+    """One stateful M32R/D chip: mode, clock, cycle and energy accounting."""
+
+    def __init__(self, proc_id: int, config: ProcessorConfig):
+        if proc_id < 0:
+            raise ValueError("proc_id must be non-negative")
+        self.proc_id = proc_id
+        self.config = config
+        self._mode = ProcessorMode.STANDBY
+        self._frequency = config.f_min
+        self._busy_cycles = 0.0
+        self._energy = 0.0
+        self._mode_changes = 0
+        self._freq_changes = 0
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> ProcessorMode:
+        return self._mode
+
+    @property
+    def frequency(self) -> float:
+        """Configured clock (meaningful in ACTIVE mode)."""
+        return self._frequency
+
+    @property
+    def is_active(self) -> bool:
+        return self._mode is ProcessorMode.ACTIVE
+
+    @property
+    def energy_consumed(self) -> float:
+        """Total energy consumed so far (J)."""
+        return self._energy
+
+    @property
+    def busy_cycles(self) -> float:
+        """Clock cycles spent executing work."""
+        return self._busy_cycles
+
+    @property
+    def mode_changes(self) -> int:
+        return self._mode_changes
+
+    @property
+    def frequency_changes(self) -> int:
+        return self._freq_changes
+
+    @property
+    def power(self) -> float:
+        """Instantaneous draw in the current state (W)."""
+        pm = self.config.power_model
+        if self._mode is ProcessorMode.ACTIVE:
+            return pm.active_power(self._frequency, self.config.voltage)
+        if self._mode is ProcessorMode.SLEEP:
+            return pm.sleep_power
+        return pm.standby_power
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+    def set_mode(self, mode: ProcessorMode) -> float:
+        """Change mode; returns the transition latency in seconds.
+
+        Waking from stand-by to active pays ``wake_latency_s``; entering a
+        lower mode is immediate.  Each *actual* transition also books
+        ``mode_change_energy_j``.
+        """
+        if mode is self._mode:
+            return 0.0
+        latency = 0.0
+        if self._mode is ProcessorMode.STANDBY and mode is ProcessorMode.ACTIVE:
+            latency = self.config.wake_latency_s
+        self._mode = mode
+        self._mode_changes += 1
+        self._energy += self.config.mode_change_energy_j
+        return latency
+
+    def set_frequency(self, f: float) -> float:
+        """Select a new clock; returns the retune latency in seconds.
+
+        On PAMA the clock is changed *by the FPGA* while the chip is in
+        stand-by (see :meth:`repro.hw.fpga.ClockController.change_frequency`);
+        this method models only the local bookkeeping and the 10-cycle
+        wake handshake at the old clock.
+        """
+        f = self.config.validate_frequency(f)
+        if f == self._frequency:
+            return 0.0
+        latency = 10.0 / self._frequency  # FPGA wakes the chip 10 cycles later
+        self._frequency = f
+        self._freq_changes += 1
+        return latency
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_for(self, dt: float, *, busy_fraction: float = 1.0) -> float:
+        """Advance ``dt`` seconds in the current state; returns energy (J).
+
+        ``busy_fraction`` scales the cycle count booked (idle-active time
+        still burns active power — the M32R/D has no clock gating below
+        mode granularity)."""
+        check_non_negative("dt", dt)
+        if not 0.0 <= busy_fraction <= 1.0:
+            raise ValueError("busy_fraction must be within [0, 1]")
+        energy = self.power * dt
+        self._energy += energy
+        if self._mode is ProcessorMode.ACTIVE:
+            self._busy_cycles += self._frequency * dt * busy_fraction
+        return energy
+
+    def cycles_for(self, work_cycles: float) -> float:
+        """Seconds needed to retire ``work_cycles`` at the current clock."""
+        check_non_negative("work_cycles", work_cycles)
+        if self._mode is not ProcessorMode.ACTIVE:
+            return float("inf")
+        return work_cycles / self._frequency
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Processor(id={self.proc_id}, mode={self._mode.value}, "
+            f"f={self._frequency / 1e6:.0f} MHz)"
+        )

@@ -1,0 +1,109 @@
+"""Unidirectional ring interconnect (paper Section 5).
+
+The PAMA FPGAs implement a unidirectional ring between the eight PIM
+chips.  Messages travel in one direction only, so the hop count from
+``src`` to ``dst`` is ``(dst − src) mod N`` and worst-case latency is
+``N − 1`` hops.  The controller uses the ring for mode/frequency commands
+and result gathering; the paper's models ignore communication cost
+(footnote 2), so the defaults here are cheap — but the ring *is* modeled so
+the communication-cost ablation can turn it up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..util.validation import check_non_negative
+
+__all__ = ["RingMessage", "RingNetwork"]
+
+
+@dataclass(frozen=True)
+class RingMessage:
+    """One message routed over the ring."""
+
+    src: int
+    dst: int
+    size_bytes: int
+    send_time: float
+    arrival_time: float
+    hops: int
+
+
+class RingNetwork:
+    """A unidirectional ring of ``n_nodes`` with per-hop latency/bandwidth.
+
+    Parameters
+    ----------
+    n_nodes:
+        Ring size (8 on PAMA).
+    hop_latency_s:
+        Fixed per-hop forwarding latency.
+    bandwidth_bytes_per_s:
+        Link bandwidth; serialization delay is ``size / bandwidth`` per hop.
+        ``inf`` (the default) models the paper's free-communication
+        assumption.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        hop_latency_s: float = 0.0,
+        bandwidth_bytes_per_s: float = float("inf"),
+    ):
+        if n_nodes < 2:
+            raise ValueError("a ring needs at least two nodes")
+        check_non_negative("hop_latency_s", hop_latency_s)
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.n_nodes = int(n_nodes)
+        self.hop_latency_s = float(hop_latency_s)
+        self.bandwidth = float(bandwidth_bytes_per_s)
+        self.log: list[RingMessage] = []
+
+    # ------------------------------------------------------------------
+    def hops(self, src: int, dst: int) -> int:
+        """Unidirectional hop count from ``src`` to ``dst``."""
+        self._check_node(src)
+        self._check_node(dst)
+        return (dst - src) % self.n_nodes
+
+    def route(self, src: int, dst: int) -> Iterator[int]:
+        """Nodes visited after ``src``, ending at ``dst``."""
+        node = src
+        for _ in range(self.hops(src, dst)):
+            node = (node + 1) % self.n_nodes
+            yield node
+
+    def latency(self, src: int, dst: int, size_bytes: int = 0) -> float:
+        """End-to-end message latency (s)."""
+        check_non_negative("size_bytes", size_bytes)
+        h = self.hops(src, dst)
+        serialization = 0.0 if self.bandwidth == float("inf") else size_bytes / self.bandwidth
+        return h * (self.hop_latency_s + serialization)
+
+    def send(self, src: int, dst: int, size_bytes: int, now: float) -> RingMessage:
+        """Route a message, log it, and return the delivery record."""
+        check_non_negative("now", now)
+        msg = RingMessage(
+            src=src,
+            dst=dst,
+            size_bytes=int(size_bytes),
+            send_time=float(now),
+            arrival_time=float(now) + self.latency(src, dst, size_bytes),
+            hops=self.hops(src, dst),
+        )
+        self.log.append(msg)
+        return msg
+
+    def broadcast_latency(self, src: int, size_bytes: int = 0) -> float:
+        """Time for a message from ``src`` to pass every other node once."""
+        serialization = 0.0 if self.bandwidth == float("inf") else size_bytes / self.bandwidth
+        return (self.n_nodes - 1) * (self.hop_latency_s + serialization)
+
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node {node} outside ring of size {self.n_nodes}")

@@ -1,0 +1,57 @@
+"""Physical models: voltage/frequency, power, performance, battery, sources."""
+
+from .voltage import (
+    AlphaPowerVFMap,
+    FixedVoltageVFMap,
+    LinearVFMap,
+    TabulatedVFMap,
+    VoltageFrequencyMap,
+)
+from .power import PowerModel
+from .performance import PerformanceModel
+from .battery import Battery, BatterySpec, BatteryStep
+from .sources import (
+    ChargingSource,
+    NoisySource,
+    ScaledSource,
+    ScheduledSource,
+    SolarOrbitSource,
+    SquareWaveSource,
+    TraceSource,
+    source_from_values,
+)
+from .events import (
+    EventRateProfile,
+    bursty_rate,
+    constant_rate,
+    diurnal_rate,
+    emphasized_weight,
+    uniform_weight,
+)
+
+__all__ = [
+    "VoltageFrequencyMap",
+    "LinearVFMap",
+    "AlphaPowerVFMap",
+    "FixedVoltageVFMap",
+    "TabulatedVFMap",
+    "PowerModel",
+    "PerformanceModel",
+    "Battery",
+    "BatterySpec",
+    "BatteryStep",
+    "ChargingSource",
+    "ScheduledSource",
+    "SquareWaveSource",
+    "SolarOrbitSource",
+    "NoisySource",
+    "ScaledSource",
+    "TraceSource",
+    "source_from_values",
+    "EventRateProfile",
+    "constant_rate",
+    "diurnal_rate",
+    "bursty_rate",
+    "uniform_weight",
+    "emphasized_weight",
+]

@@ -1,0 +1,152 @@
+"""Event-rate schedules ``u(t)`` and weight functions ``w(t)``.
+
+Section 2 defines two planner inputs besides the charging schedule:
+
+* the **expected event rate schedule** ``u(t)`` — the rate of the events
+  that initiate computation (RF triggers in the FORTE example), expressed
+  here directly in desired power (W) or in events/s convertible to power
+  through a per-event cost; and
+* the **weight function** ``w(t)`` — user input emphasizing portions of
+  the period (the paper's example: weight commute hours higher in a
+  traffic-monitoring system).
+
+Both are plain :class:`~repro.util.schedule.Schedule` objects; this module
+provides named constructors for the common shapes plus the
+:class:`EventRateProfile` wrapper that converts between events/s and
+demanded power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.schedule import Schedule
+from ..util.timegrid import TimeGrid
+from ..util.validation import check_non_negative, check_positive
+
+__all__ = [
+    "EventRateProfile",
+    "constant_rate",
+    "diurnal_rate",
+    "bursty_rate",
+    "uniform_weight",
+    "emphasized_weight",
+]
+
+
+# ----------------------------------------------------------------------
+# event-rate schedule constructors
+# ----------------------------------------------------------------------
+def constant_rate(grid: TimeGrid, rate: float) -> Schedule:
+    """A flat event-rate schedule."""
+    check_non_negative("rate", rate)
+    return Schedule.constant(grid, rate)
+
+
+def diurnal_rate(
+    grid: TimeGrid,
+    mean: float,
+    amplitude: float,
+    phase: float = 0.0,
+) -> Schedule:
+    """Sinusoidal rate ``mean + amplitude·sin(2πt/T + phase)``, floored at 0.
+
+    Models periodic activity cycles (day/night RF traffic, commute peaks).
+    Requires ``amplitude ≤ mean`` to keep the ideal curve non-negative.
+    """
+    check_non_negative("mean", mean)
+    check_non_negative("amplitude", amplitude)
+    if amplitude > mean:
+        raise ValueError("amplitude must not exceed mean (rate would go negative)")
+    t = grid.slot_starts() + 0.5 * grid.tau
+    values = mean + amplitude * np.sin(2.0 * math.pi * t / grid.period + phase)
+    return Schedule(grid, np.maximum(values, 0.0))
+
+
+def bursty_rate(
+    grid: TimeGrid,
+    base: float,
+    burst: float,
+    burst_slots: list[int] | tuple[int, ...],
+) -> Schedule:
+    """Baseline rate with bursts: ``base`` everywhere, ``burst`` in the
+    listed (wrapped) slots."""
+    check_non_negative("base", base)
+    check_non_negative("burst", burst)
+    values = np.full(grid.n_slots, float(base))
+    for slot in burst_slots:
+        values[grid.slot_index(slot)] = burst
+    return Schedule(grid, values)
+
+
+# ----------------------------------------------------------------------
+# weight functions
+# ----------------------------------------------------------------------
+def uniform_weight(grid: TimeGrid) -> Schedule:
+    """The neutral weight ``w(t) ≡ 1``."""
+    return Schedule.constant(grid, 1.0)
+
+
+def emphasized_weight(
+    grid: TimeGrid,
+    slots: list[int] | tuple[int, ...],
+    factor: float,
+) -> Schedule:
+    """Weight ``factor`` on the listed slots and 1 elsewhere.
+
+    Implements the paper's traffic-monitoring example: give commute-time
+    slots a higher weight so the allocation pushes more power there.
+    """
+    check_positive("factor", factor)
+    values = np.ones(grid.n_slots)
+    for slot in slots:
+        values[grid.slot_index(slot)] = factor
+    return Schedule(grid, values)
+
+
+# ----------------------------------------------------------------------
+# events/s ↔ demanded power
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EventRateProfile:
+    """An event-rate schedule plus the energy cost of serving one event.
+
+    ``u(t)`` in the paper plays double duty: it is an events/s rate, but the
+    WPUF arithmetic (Eq. 7–8) treats ``u·w`` as a power shape.  The bridge
+    is the energy one event costs at the reference operating point:
+    ``demanded_power = rate · energy_per_event``.
+
+    Parameters
+    ----------
+    rate:
+        Events per second, per slot.
+    energy_per_event:
+        Joules required to process one event at the reference setting.
+    """
+
+    rate: Schedule
+    energy_per_event: float
+
+    def __post_init__(self) -> None:
+        check_positive("energy_per_event", self.energy_per_event)
+        if np.any(self.rate.values < 0):
+            raise ValueError("event rates must be non-negative")
+
+    @property
+    def grid(self) -> TimeGrid:
+        return self.rate.grid
+
+    def demanded_power(self) -> Schedule:
+        """Power (W) needed to keep up with the expected rate."""
+        return self.rate * self.energy_per_event
+
+    def events_in_slot(self, slot: int) -> float:
+        """Expected event count in (wrapped) slot ``slot``."""
+        return self.rate[slot] * self.grid.tau
+
+    def total_events(self) -> float:
+        """Expected events over one full period."""
+        return self.rate.total_energy()  # Σ rate·τ

@@ -1,0 +1,139 @@
+"""Performance model (paper Section 3, Eqs. 1–3).
+
+The applications targeted by the paper are serial–parallel–serial task
+graphs (Figure 2): an initial stage, ``N`` parallel tasks, and a final
+stage.  With ``Tt`` the total single-processor execution time and ``Ts``
+the non-parallelizable portion (both measured at a reference clock), the
+``n``-processor execution time follows Amdahl's law, and clock/voltage
+scaling multiplies throughput by the *effective frequency*
+``min(f, g(v))`` (Eq. 1) — raising ``f`` beyond what the voltage sustains
+buys nothing.
+
+The combined model (Eq. 3)::
+
+    Perf(n, f, v) = c1 · min(f, g(v)) / (Ts + (Tt − Ts)/n)
+
+:class:`PerformanceModel` also exposes the *task time* — the wall-clock
+seconds to complete one task instance at a given setting — which is what
+the simulator and the FFT-workload calibration consume (the paper's
+calibration point: one 2K-sample FFT takes 4.8 s at 20 MHz on one
+processor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.validation import check_non_negative, check_positive
+from .voltage import VoltageFrequencyMap
+
+__all__ = ["PerformanceModel"]
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Amdahl + DVFS performance of a serial–parallel–serial application.
+
+    Parameters
+    ----------
+    t_total:
+        ``Tt``: execution time of one task on one processor at ``f_ref``.
+    t_serial:
+        ``Ts``: the non-parallelizable portion of ``t_total`` (``0 ≤ Ts ≤ Tt``).
+    f_ref:
+        Reference clock frequency at which ``Tt``/``Ts`` were measured.
+    vf_map:
+        Voltage–frequency relationship supplying ``g(v)``.
+    c1:
+        Proportionality constant of Eq. 3; performance is reported in
+        ``c1 · Hz / s`` units.  The default 1.0 is fine for all relative
+        comparisons the algorithms make.
+    """
+
+    t_total: float
+    t_serial: float
+    f_ref: float
+    vf_map: VoltageFrequencyMap
+    c1: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("t_total", self.t_total)
+        check_non_negative("t_serial", self.t_serial)
+        check_positive("f_ref", self.f_ref)
+        check_positive("c1", self.c1)
+        if self.t_serial > self.t_total:
+            raise ValueError(
+                f"t_serial ({self.t_serial}) cannot exceed t_total ({self.t_total})"
+            )
+
+    # ------------------------------------------------------------------
+    # Amdahl structure
+    # ------------------------------------------------------------------
+    @property
+    def serial_fraction(self) -> float:
+        """``Ts / Tt`` — Amdahl's serial fraction."""
+        return self.t_serial / self.t_total
+
+    def amdahl_time(self, n: int) -> float:
+        """``Ts + (Tt − Ts)/n``: task time on ``n`` processors at ``f_ref``."""
+        if n < 1:
+            raise ValueError(f"need at least one processor, got n={n}")
+        return self.t_serial + (self.t_total - self.t_serial) / n
+
+    def speedup(self, n: int) -> float:
+        """Classic Amdahl speedup ``Tt / (Ts + (Tt−Ts)/n)``."""
+        return self.t_total / self.amdahl_time(n)
+
+    @property
+    def optimal_processor_count(self) -> float:
+        """``n* = 2·(Tt/Ts − 1)`` — the Eq. 17 crossover.
+
+        Below ``n*`` adding processors beats raising frequency (per unit
+        power) in the voltage-scaling regime; above it, frequency wins.
+        Returns ``inf`` for perfectly parallel workloads (``Ts = 0``).
+        """
+        if self.t_serial == 0:
+            return float("inf")
+        return 2.0 * (self.t_total / self.t_serial - 1.0)
+
+    # ------------------------------------------------------------------
+    # DVFS-scaled quantities
+    # ------------------------------------------------------------------
+    def effective_frequency(self, f: float, v: float) -> float:
+        """Eq. 1: ``min(f, g(v))``."""
+        check_non_negative("f", f)
+        return self.vf_map.effective_frequency(f, v)
+
+    def perf(self, n: int, f: float, v: float | None = None) -> float:
+        """Eq. 3 performance (tasks per second, scaled by ``c1·f_ref``).
+
+        With ``v`` omitted, the Eq. 11 optimal voltage for ``f`` is used.
+        ``n = 0`` or ``f = 0`` yield zero performance (system parked).
+        """
+        if n == 0 or f == 0:
+            return 0.0
+        if v is None:
+            v = self.vf_map.optimal_voltage(f)
+        f_eff = self.effective_frequency(f, v)
+        return self.c1 * f_eff / self.amdahl_time(n)
+
+    def task_time(self, n: int, f: float, v: float | None = None) -> float:
+        """Wall-clock seconds to finish one task at setting ``(n, f, v)``.
+
+        This is ``amdahl_time(n) · f_ref / min(f, g(v))`` — the quantity the
+        simulator schedules with and the paper calibrates (4.8 s for the 2K
+        FFT at 20 MHz, n = 1).  Returns ``inf`` when the system is parked.
+        """
+        if n == 0 or f == 0:
+            return float("inf")
+        if v is None:
+            v = self.vf_map.optimal_voltage(f)
+        f_eff = self.effective_frequency(f, v)
+        if f_eff <= 0:
+            return float("inf")
+        return self.amdahl_time(n) * self.f_ref / f_eff
+
+    def throughput(self, n: int, f: float, v: float | None = None) -> float:
+        """Tasks per second at setting ``(n, f, v)`` (``1 / task_time``)."""
+        t = self.task_time(n, f, v)
+        return 0.0 if t == float("inf") else 1.0 / t

@@ -1,0 +1,177 @@
+"""Power-consumption model (paper Section 3, Eqs. 4–6).
+
+The per-processor dynamic power is ``P ∝ f·v²`` (Eq. 4), so a homogeneous
+``n``-processor system at common ``(f, v)`` draws ``P = c2·n·f·v²`` (Eq. 6),
+and a system with per-processor settings draws ``c2·Σ fᵢvᵢ²`` (Eq. 5).
+Inactive processors are not free: the M32R/D keeps an interrupt monitor
+running in stand-by mode (6.6 mW), so :class:`PowerModel` carries per-mode
+static floors in addition to the switching constant ``c2``.
+
+The constant ``c2`` is usually obtained from one measured reference point —
+:meth:`PowerModel.from_reference_point` — e.g. the paper's per-processor
+0.393 W at 80 MHz / 3.3 V (⇒ 0.0983 W at 20 MHz, the quantum every power
+value in Tables 1–5 is a multiple of).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..util.validation import check_non_negative, check_positive
+
+__all__ = ["PowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Switching + static power of a homogeneous processor pool.
+
+    Parameters
+    ----------
+    c2:
+        Switching-capacitance constant of Eq. 4: active dynamic power is
+        ``c2 · f · v²`` watts (``f`` in Hz, ``v`` in volts).
+    standby_power:
+        Static draw of a processor in stand-by mode (W).  Stand-by
+        processors contribute this regardless of ``(f, v)``.
+    sleep_power:
+        Static draw in sleep mode (memory retained, core stopped).
+    active_floor:
+        Static draw added to every *active* processor on top of the
+        dynamic ``c2·f·v²`` term (leakage / always-on periphery).
+    """
+
+    c2: float
+    standby_power: float = 0.0
+    sleep_power: float = 0.0
+    active_floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("c2", self.c2)
+        check_non_negative("standby_power", self.standby_power)
+        check_non_negative("sleep_power", self.sleep_power)
+        check_non_negative("active_floor", self.active_floor)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_reference_point(
+        cls,
+        f_ref: float,
+        v_ref: float,
+        p_ref: float,
+        *,
+        standby_power: float = 0.0,
+        sleep_power: float = 0.0,
+        active_floor: float = 0.0,
+    ) -> "PowerModel":
+        """Calibrate ``c2`` from one measured active point.
+
+        ``p_ref`` is the measured *dynamic* power of a single active
+        processor at ``(f_ref, v_ref)`` (after subtracting ``active_floor``
+        if one is supplied).
+        """
+        check_positive("f_ref", f_ref)
+        check_positive("v_ref", v_ref)
+        check_positive("p_ref", p_ref)
+        if p_ref <= active_floor:
+            raise ValueError("reference power must exceed the active floor")
+        c2 = (p_ref - active_floor) / (f_ref * v_ref**2)
+        return cls(
+            c2=c2,
+            standby_power=standby_power,
+            sleep_power=sleep_power,
+            active_floor=active_floor,
+        )
+
+    # ------------------------------------------------------------------
+    # per-processor powers
+    # ------------------------------------------------------------------
+    def active_power(self, f: float, v: float) -> float:
+        """Power of one active processor at clock ``f`` and voltage ``v``."""
+        check_non_negative("f", f)
+        check_positive("v", v)
+        return self.c2 * f * v**2 + self.active_floor
+
+    def mode_power(self, mode: str, f: float = 0.0, v: float = 0.0) -> float:
+        """Power of one processor in ``mode`` ∈ {active, sleep, standby, off}."""
+        if mode == "active":
+            return self.active_power(f, v)
+        if mode == "sleep":
+            return self.sleep_power
+        if mode == "standby":
+            return self.standby_power
+        if mode == "off":
+            return 0.0
+        raise ValueError(f"unknown processor mode {mode!r}")
+
+    # ------------------------------------------------------------------
+    # system powers (Eqs. 5 and 6)
+    # ------------------------------------------------------------------
+    def system_power(
+        self,
+        n_active: int,
+        f: float,
+        v: float,
+        *,
+        n_total: int | None = None,
+    ) -> float:
+        """Eq. 6 plus stand-by floors: ``c2·n·f·v²`` for the active pool,
+        ``standby_power`` for each of the remaining ``n_total − n_active``.
+
+        With ``n_total`` omitted, only the active pool is counted.
+        """
+        if n_active < 0:
+            raise ValueError(f"n_active must be >= 0, got {n_active}")
+        if n_total is None:
+            n_total = n_active
+        if n_total < n_active:
+            raise ValueError(
+                f"n_total ({n_total}) must be >= n_active ({n_active})"
+            )
+        active = n_active * self.active_power(f, v) if n_active else 0.0
+        return active + (n_total - n_active) * self.standby_power
+
+    def heterogeneous_power(
+        self,
+        freqs: Sequence[float],
+        volts: Sequence[float],
+    ) -> float:
+        """Eq. 5: ``c2 · Σ fᵢ·vᵢ²`` over per-processor settings.
+
+        A processor with ``fᵢ = 0`` is treated as stand-by (its ``vᵢ`` is
+        ignored), matching the paper's zero-frequency inactive notation.
+        """
+        f = np.asarray(freqs, dtype=float)
+        v = np.asarray(volts, dtype=float)
+        if f.shape != v.shape:
+            raise ValueError("freqs and volts must have equal length")
+        if np.any(f < 0):
+            raise ValueError("frequencies must be non-negative")
+        active = f > 0
+        if np.any(v[active] <= 0):
+            raise ValueError("active processors need a positive voltage")
+        dynamic = self.c2 * float(np.sum(f[active] * v[active] ** 2))
+        floors = self.active_floor * int(np.count_nonzero(active))
+        standby = self.standby_power * int(np.count_nonzero(~active))
+        return dynamic + floors + standby
+
+    # ------------------------------------------------------------------
+    # energy helper
+    # ------------------------------------------------------------------
+    def energy(
+        self,
+        n_active: int,
+        f: float,
+        v: float,
+        duration: float,
+        *,
+        n_total: int | None = None,
+    ) -> float:
+        """Energy in joules over ``duration`` seconds at a fixed setting."""
+        check_non_negative("duration", duration)
+        return self.system_power(n_active, f, v, n_total=n_total) * duration

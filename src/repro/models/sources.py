@@ -1,0 +1,248 @@
+"""External charging sources.
+
+Section 2 of the paper assumes an external power source with a *periodic*
+charging schedule — the motivating example is a solar panel on an orbiting
+satellite, whose sun/eclipse cycle repeats with the orbital period.  The
+planner works with the **expected** schedule ``c(t)``; the simulator draws
+the **actual** supplied power, which may deviate (that deviation is what
+Algorithm 3's run-time reallocation absorbs).
+
+:class:`ChargingSource` therefore has two faces:
+
+* :meth:`~ChargingSource.expected` — the per-slot :class:`Schedule` the
+  planner sees, and
+* :meth:`~ChargingSource.actual_power` — the instantaneous power the
+  simulator integrates, which subclasses may perturb deterministically or
+  stochastically.
+
+Provided sources: exact schedule followers, square-wave sun/eclipse orbits
+(the shape of the paper's Scenario I), half-sine solar orbits, finite
+recorded traces, and noise/bias wrappers.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..util.schedule import Schedule
+from ..util.timegrid import TimeGrid
+from ..util.validation import check_in_range, check_non_negative
+
+__all__ = [
+    "ChargingSource",
+    "ScheduledSource",
+    "SquareWaveSource",
+    "SolarOrbitSource",
+    "NoisySource",
+    "TraceSource",
+    "ScaledSource",
+]
+
+
+class ChargingSource(ABC):
+    """A periodic external power source."""
+
+    def __init__(self, grid: TimeGrid):
+        self.grid = grid
+
+    @abstractmethod
+    def expected(self) -> Schedule:
+        """The expected charging schedule ``c(t)`` the planner uses."""
+
+    def actual_power(self, t: float) -> float:
+        """Instantaneous supplied power at absolute time ``t`` (W).
+
+        Default: exactly the expected schedule.  Subclasses that model
+        prediction error override this.
+        """
+        return self.expected()(t)
+
+    def actual_slot_energy(self, slot_start: float) -> float:
+        """Energy supplied over the slot beginning at ``slot_start`` (J).
+
+        Integrates :meth:`actual_power` with a mid-slot sample per
+        sub-interval; exact for the piecewise-constant sources here.
+        """
+        tau = self.grid.tau
+        return self.actual_power(slot_start + 0.5 * tau) * tau
+
+
+class ScheduledSource(ChargingSource):
+    """Supplies exactly a given per-slot schedule (no prediction error)."""
+
+    def __init__(self, schedule: Schedule):
+        super().__init__(schedule.grid)
+        self._schedule = schedule
+
+    def expected(self) -> Schedule:
+        return self._schedule
+
+    def actual_power(self, t: float) -> float:
+        return self._schedule(t)
+
+
+class SquareWaveSource(ChargingSource):
+    """Sunlit/eclipse square wave: ``peak`` W for the first ``sunlit_fraction``
+    of the period, zero afterwards — the shape of the paper's Scenario I
+    (2.36 W for the first half-period, 0 for the second)."""
+
+    def __init__(self, grid: TimeGrid, peak: float, sunlit_fraction: float = 0.5):
+        super().__init__(grid)
+        check_non_negative("peak", peak)
+        check_in_range("sunlit_fraction", sunlit_fraction, 0.0, 1.0)
+        self.peak = float(peak)
+        self.sunlit_fraction = float(sunlit_fraction)
+
+    def expected(self) -> Schedule:
+        starts = self.grid.slot_starts()
+        sunlit = (starts + 0.5 * self.grid.tau) < self.sunlit_fraction * self.grid.period
+        return Schedule(self.grid, np.where(sunlit, self.peak, 0.0))
+
+    def actual_power(self, t: float) -> float:
+        return self.peak if self.grid.wrap(t) < self.sunlit_fraction * self.grid.period else 0.0
+
+
+class SolarOrbitSource(ChargingSource):
+    """Half-sine insolation over the sunlit arc, eclipse otherwise.
+
+    Models panel output ``peak·sin(π·x)`` for normalized sunlit position
+    ``x ∈ [0, 1]`` — panel incidence rises and falls through the arc — and
+    zero during eclipse.  The *expected* schedule is the slot-average of the
+    continuous curve, so its integral matches the continuous energy.
+    """
+
+    def __init__(self, grid: TimeGrid, peak: float, sunlit_fraction: float = 0.6):
+        super().__init__(grid)
+        check_non_negative("peak", peak)
+        check_in_range("sunlit_fraction", sunlit_fraction, 0.0, 1.0, inclusive=False)
+        self.peak = float(peak)
+        self.sunlit_fraction = float(sunlit_fraction)
+
+    def _continuous(self, t: float) -> float:
+        sunlit_len = self.sunlit_fraction * self.grid.period
+        w = self.grid.wrap(t)
+        if w >= sunlit_len:
+            return 0.0
+        return self.peak * math.sin(math.pi * w / sunlit_len)
+
+    def expected(self) -> Schedule:
+        # Slot-average of the half-sine: integrate analytically per slot.
+        sunlit_len = self.sunlit_fraction * self.grid.period
+        omega = math.pi / sunlit_len
+        values = []
+        for t0 in self.grid.slot_starts():
+            t1 = min(t0 + self.grid.tau, sunlit_len)
+            if t0 >= sunlit_len:
+                values.append(0.0)
+                continue
+            integral = self.peak / omega * (math.cos(omega * t0) - math.cos(omega * t1))
+            values.append(integral / self.grid.tau)
+        return Schedule(self.grid, values)
+
+    def actual_power(self, t: float) -> float:
+        return self._continuous(t)
+
+    def actual_slot_energy(self, slot_start: float) -> float:
+        # exact integral of the half-sine over the slot
+        sunlit_len = self.sunlit_fraction * self.grid.period
+        omega = math.pi / sunlit_len
+        t0 = self.grid.wrap(slot_start)
+        t1 = min(t0 + self.grid.tau, sunlit_len)
+        if t0 >= sunlit_len:
+            return 0.0
+        return self.peak / omega * (math.cos(omega * t0) - math.cos(omega * t1))
+
+
+class NoisySource(ChargingSource):
+    """Wraps a base source with multiplicative Gaussian prediction error.
+
+    The *expected* schedule is the base's; the *actual* power per slot is
+    ``base · max(0, 1 + σ·ξ_slot)`` with ``ξ`` drawn once per (periodic)
+    slot from a seeded generator, so reruns are reproducible and the actual
+    supply stays non-negative.
+    """
+
+    def __init__(self, base: ChargingSource, sigma: float, seed: int = 0):
+        super().__init__(base.grid)
+        check_non_negative("sigma", sigma)
+        self.base = base
+        self.sigma = float(sigma)
+        self.seed = int(seed)
+        self._factor_cache: dict[int, float] = {}
+
+    def expected(self) -> Schedule:
+        return self.base.expected()
+
+    def _factor(self, absolute_slot: int) -> float:
+        if absolute_slot not in self._factor_cache:
+            rng = np.random.default_rng((self.seed, absolute_slot))
+            self._factor_cache[absolute_slot] = max(
+                0.0, 1.0 + self.sigma * float(rng.standard_normal())
+            )
+        return self._factor_cache[absolute_slot]
+
+    def actual_power(self, t: float) -> float:
+        absolute_slot = int(math.floor(t / self.grid.tau))
+        return self.base.actual_power(t) * self._factor(absolute_slot)
+
+
+class TraceSource(ChargingSource):
+    """A finite recorded supply trace (non-periodic actuals).
+
+    The *expected* schedule is still one periodic period (what the planner
+    uses); the *actual* power follows the recorded per-slot trace, which
+    may span several periods and differ from the forecast arbitrarily —
+    e.g. a telemetry recording replayed through the simulator.  Beyond the
+    end of the trace the source is dark.
+    """
+
+    def __init__(self, expected: Schedule, actual_trace: Sequence[float]):
+        super().__init__(expected.grid)
+        self._expected = expected
+        trace = np.asarray(actual_trace, dtype=float)
+        if trace.ndim != 1 or trace.size == 0:
+            raise ValueError("actual_trace must be a non-empty 1-D sequence")
+        if np.any(trace < 0):
+            raise ValueError("supply trace must be non-negative")
+        self._trace = trace
+
+    @property
+    def trace_length(self) -> int:
+        return int(self._trace.size)
+
+    def expected(self) -> Schedule:
+        return self._expected
+
+    def actual_power(self, t: float) -> float:
+        if t < 0:
+            raise ValueError("time must be non-negative for a recorded trace")
+        slot = int(t / self.grid.tau)
+        if slot >= self._trace.size:
+            return 0.0
+        return float(self._trace[slot])
+
+
+class ScaledSource(ChargingSource):
+    """A base source whose *actual* output is a constant factor off the
+    prediction (systematic bias, e.g. panel degradation)."""
+
+    def __init__(self, base: ChargingSource, factor: float):
+        super().__init__(base.grid)
+        check_non_negative("factor", factor)
+        self.base = base
+        self.factor = float(factor)
+
+    def expected(self) -> Schedule:
+        return self.base.expected()
+
+    def actual_power(self, t: float) -> float:
+        return self.base.actual_power(t) * self.factor
+
+
+def source_from_values(grid: TimeGrid, values: Sequence[float]) -> ScheduledSource:
+    """Convenience: build an exact source from per-slot wattages."""
+    return ScheduledSource(Schedule(grid, values))

@@ -1,0 +1,208 @@
+"""Voltage–frequency relationship ``g(v)`` and optimal-voltage selection.
+
+Section 3 of the paper models performance as ``Perf ∝ min(f, g(v))`` where
+``g(v)`` is the maximum clock frequency sustainable at supply voltage ``v``.
+Section 4.2 then reduces the parameter space with Eq. (11): for a desired
+frequency ``f`` the best voltage is ``g⁻¹(f)`` when that is above ``v_min``
+and ``v_min`` otherwise — running at a higher voltage than needed wastes
+``v²`` power without adding performance.
+
+This module provides that map as a small class hierarchy:
+
+* :class:`LinearVFMap` — ``g(v) = k·(v − v_th)``, the classic first-order
+  delay model.
+* :class:`AlphaPowerVFMap` — ``g(v) = k·(v − v_th)^α / v``, the alpha-power
+  law used throughout the DVFS literature.
+* :class:`FixedVoltageVFMap` — the degenerate ``v_min = v_max`` case of the
+  paper's PAMA evaluation (3.3 V fixed, ``g(v) ≡ f_max``).
+* :class:`TabulatedVFMap` — piecewise-linear map through measured
+  ``(v, f)`` points.
+
+All maps are monotone non-decreasing in ``v`` over ``[v_min, v_max]``, which
+is what makes ``g⁻¹`` (computed generically by bisection) well defined.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..util.validation import check_positive
+
+__all__ = [
+    "VoltageFrequencyMap",
+    "LinearVFMap",
+    "AlphaPowerVFMap",
+    "FixedVoltageVFMap",
+    "TabulatedVFMap",
+]
+
+
+class VoltageFrequencyMap(ABC):
+    """Maximum sustainable frequency as a function of supply voltage."""
+
+    def __init__(self, v_min: float, v_max: float):
+        check_positive("v_min", v_min)
+        check_positive("v_max", v_max)
+        if v_max < v_min:
+            raise ValueError(f"v_max ({v_max}) must be >= v_min ({v_min})")
+        self.v_min = float(v_min)
+        self.v_max = float(v_max)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def g(self, v: float) -> float:
+        """Maximum frequency sustainable at voltage ``v`` (Hz)."""
+
+    def _check_voltage(self, v: float) -> float:
+        if not (self.v_min - 1e-12 <= v <= self.v_max + 1e-12):
+            raise ValueError(
+                f"voltage {v} outside supported range [{self.v_min}, {self.v_max}]"
+            )
+        return min(max(float(v), self.v_min), self.v_max)
+
+    @property
+    def f_floor(self) -> float:
+        """``g(v_min)`` — the frequency below which voltage cannot help."""
+        return self.g(self.v_min)
+
+    @property
+    def f_ceiling(self) -> float:
+        """``g(v_max)`` — the highest frequency any voltage sustains."""
+        return self.g(self.v_max)
+
+    # ------------------------------------------------------------------
+    def g_inverse(self, f: float) -> float:
+        """Minimum voltage sustaining frequency ``f`` (generic bisection).
+
+        Raises :class:`ValueError` if ``f`` exceeds ``g(v_max)``.
+        """
+        if f < 0:
+            raise ValueError(f"frequency must be non-negative, got {f}")
+        if f <= self.f_floor:
+            return self.v_min
+        if f > self.f_ceiling * (1 + 1e-12):
+            raise ValueError(
+                f"frequency {f} unreachable: g(v_max) = {self.f_ceiling}"
+            )
+        lo, hi = self.v_min, self.v_max
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self.g(mid) < f:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= 1e-15 * self.v_max:
+                break
+        return hi
+
+    def optimal_voltage(self, f: float) -> float:
+        """Eq. (11): best voltage for frequency ``f``.
+
+        ``g⁻¹(f)`` when that exceeds ``v_min`` (run just fast enough),
+        otherwise ``v_min`` (voltage already at its floor).
+        """
+        return max(self.g_inverse(f), self.v_min)
+
+    def effective_frequency(self, f: float, v: float) -> float:
+        """``min(f, g(v))`` — the frequency the pipeline actually achieves."""
+        return min(float(f), self.g(self._check_voltage(v)))
+
+
+class LinearVFMap(VoltageFrequencyMap):
+    """``g(v) = slope · (v − v_threshold)``, clamped at zero."""
+
+    def __init__(self, v_min: float, v_max: float, slope: float, v_threshold: float = 0.0):
+        super().__init__(v_min, v_max)
+        check_positive("slope", slope)
+        if v_threshold >= v_min:
+            raise ValueError("v_threshold must lie below v_min")
+        self.slope = float(slope)
+        self.v_threshold = float(v_threshold)
+
+    def g(self, v: float) -> float:
+        v = self._check_voltage(v)
+        return max(0.0, self.slope * (v - self.v_threshold))
+
+    def g_inverse(self, f: float) -> float:  # closed form
+        if f < 0:
+            raise ValueError(f"frequency must be non-negative, got {f}")
+        if f <= self.f_floor:
+            return self.v_min
+        v = f / self.slope + self.v_threshold
+        if v > self.v_max * (1 + 1e-12):
+            raise ValueError(f"frequency {f} unreachable: g(v_max) = {self.f_ceiling}")
+        return min(v, self.v_max)
+
+
+class AlphaPowerVFMap(VoltageFrequencyMap):
+    """Alpha-power law ``g(v) = k · (v − v_th)^α / v`` (Sakurai–Newton)."""
+
+    def __init__(
+        self,
+        v_min: float,
+        v_max: float,
+        k: float,
+        v_threshold: float,
+        alpha: float = 1.3,
+    ):
+        super().__init__(v_min, v_max)
+        check_positive("k", k)
+        check_positive("alpha", alpha)
+        if not (0 <= v_threshold < v_min):
+            raise ValueError("need 0 <= v_threshold < v_min")
+        if alpha < 1.0:
+            raise ValueError("alpha < 1 would make g non-monotone at high v")
+        self.k = float(k)
+        self.v_threshold = float(v_threshold)
+        self.alpha = float(alpha)
+
+    def g(self, v: float) -> float:
+        v = self._check_voltage(v)
+        return self.k * (v - self.v_threshold) ** self.alpha / v
+
+
+class FixedVoltageVFMap(VoltageFrequencyMap):
+    """Single supported voltage: the PAMA board case (3.3 V, 80 MHz max)."""
+
+    def __init__(self, voltage: float, f_max: float):
+        super().__init__(voltage, voltage)
+        check_positive("f_max", f_max)
+        self.f_max = float(f_max)
+
+    def g(self, v: float) -> float:
+        self._check_voltage(v)
+        return self.f_max
+
+    def g_inverse(self, f: float) -> float:
+        if f < 0:
+            raise ValueError(f"frequency must be non-negative, got {f}")
+        if f > self.f_max * (1 + 1e-12):
+            raise ValueError(f"frequency {f} unreachable: g(v_max) = {self.f_max}")
+        return self.v_min
+
+
+class TabulatedVFMap(VoltageFrequencyMap):
+    """Piecewise-linear interpolation through measured ``(v, f)`` points."""
+
+    def __init__(self, points: Sequence[tuple[float, float]]):
+        if len(points) < 2:
+            raise ValueError("need at least two (voltage, frequency) points")
+        pts = sorted((float(v), float(f)) for v, f in points)
+        volts = np.array([p[0] for p in pts])
+        freqs = np.array([p[1] for p in pts])
+        if np.any(np.diff(volts) <= 0):
+            raise ValueError("voltages must be strictly increasing")
+        if np.any(np.diff(freqs) < 0):
+            raise ValueError("frequencies must be non-decreasing in voltage")
+        if np.any(freqs < 0):
+            raise ValueError("frequencies must be non-negative")
+        super().__init__(volts[0], volts[-1])
+        self._volts = volts
+        self._freqs = freqs
+
+    def g(self, v: float) -> float:
+        v = self._check_voltage(v)
+        return float(np.interp(v, self._volts, self._freqs))

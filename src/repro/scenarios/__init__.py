@@ -1,0 +1,39 @@
+"""Experiment scenarios: the paper's two evaluations plus a wider library."""
+
+from .library import (
+    burst_watch,
+    commute_traffic,
+    deep_discharge,
+    eclipse_orbit,
+    library_scenarios,
+)
+from .paper import (
+    PaperScenario,
+    pama_battery_spec,
+    pama_frontier,
+    pama_grid,
+    pama_performance_model,
+    pama_power_model,
+    pama_vf_map,
+    paper_scenarios,
+    scenario1,
+    scenario2,
+)
+
+__all__ = [
+    "PaperScenario",
+    "eclipse_orbit",
+    "commute_traffic",
+    "burst_watch",
+    "deep_discharge",
+    "library_scenarios",
+    "scenario1",
+    "scenario2",
+    "paper_scenarios",
+    "pama_grid",
+    "pama_vf_map",
+    "pama_frontier",
+    "pama_power_model",
+    "pama_performance_model",
+    "pama_battery_spec",
+]

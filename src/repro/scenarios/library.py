@@ -1,0 +1,105 @@
+"""Scenario library beyond the paper's two evaluations.
+
+Each constructor returns a ready-to-plan :class:`~repro.scenarios.paper.PaperScenario`
+on the PAMA grid and battery, exercising a stress axis the paper's intro
+motivates but its evaluation does not cover:
+
+* :func:`eclipse_orbit` — a realistic half-sine solar orbit with a long
+  eclipse (the satellite case, with a smooth rather than square supply);
+* :func:`commute_traffic` — the paper's traffic-monitoring example: flat
+  supply, diurnal event rate, commute slots weighted heavier;
+* :func:`burst_watch` — sparse background demand with a dense burst
+  window (e.g. a scheduled downlink or observation campaign);
+* :func:`deep_discharge` — supply well below peak demand so the plan
+  must ride the battery floor for most of the period.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.events import diurnal_rate, emphasized_weight
+from ..models.sources import SolarOrbitSource
+from ..util.schedule import Schedule
+from .paper import PaperScenario, pama_battery_spec, pama_grid
+
+__all__ = [
+    "eclipse_orbit",
+    "commute_traffic",
+    "burst_watch",
+    "deep_discharge",
+    "library_scenarios",
+]
+
+
+def eclipse_orbit(*, peak: float = 3.0, sunlit_fraction: float = 0.55) -> PaperScenario:
+    """Half-sine insolation with an eclipse; flat baseline demand."""
+    grid = pama_grid()
+    source = SolarOrbitSource(grid, peak=peak, sunlit_fraction=sunlit_fraction)
+    charging = source.expected()
+    demand = Schedule.constant(grid, charging.mean())
+    return PaperScenario(
+        name="eclipse-orbit",
+        charging=charging,
+        event_demand=demand,
+        spec=pama_battery_spec(),
+    )
+
+
+def commute_traffic(*, emphasis: float = 3.0) -> PaperScenario:
+    """The paper's Section 2 example: weight commute hours heavier.
+
+    Supply is flat (grid-powered with a small battery buffer); the event
+    rate is diurnal; the caller applies the emphasized weight through
+    :meth:`PaperScenario.weight`-style use — here the weight is folded
+    into the demand (Eq. 7) so the scenario carries one shape.
+    """
+    grid = pama_grid()
+    charging = Schedule.constant(grid, 1.2)
+    rate = diurnal_rate(grid, mean=1.0, amplitude=0.8, phase=-np.pi / 2)
+    weight = emphasized_weight(grid, slots=[2, 3, 8, 9], factor=emphasis)
+    return PaperScenario(
+        name="commute-traffic",
+        charging=charging,
+        event_demand=rate * weight,
+        spec=pama_battery_spec(),
+    )
+
+
+def burst_watch(*, burst_slots: tuple[int, ...] = (7, 8), burst: float = 2.8) -> PaperScenario:
+    """Sparse background demand with a dense scheduled burst."""
+    grid = pama_grid()
+    charging = Schedule.constant(grid, 1.0)
+    values = np.full(grid.n_slots, 0.25)
+    for s in burst_slots:
+        values[grid.slot_index(s)] = burst
+    return PaperScenario(
+        name="burst-watch",
+        charging=charging,
+        event_demand=Schedule(grid, values),
+        spec=pama_battery_spec(),
+    )
+
+
+def deep_discharge(*, supply: float = 0.6, demand_peak: float = 2.4) -> PaperScenario:
+    """Chronically undersupplied: peak demand 4× the flat supply."""
+    grid = pama_grid()
+    charging = Schedule.constant(grid, supply)
+    t = np.arange(grid.n_slots)
+    demand = 0.3 + (demand_peak - 0.3) * (1 + np.sin(2 * np.pi * t / grid.n_slots)) / 2
+    return PaperScenario(
+        name="deep-discharge",
+        charging=charging,
+        event_demand=Schedule(grid, demand),
+        spec=pama_battery_spec(),
+    )
+
+
+def library_scenarios() -> tuple[PaperScenario, ...]:
+    """Every extra scenario, for sweep-style benches."""
+    return (
+        eclipse_orbit(),
+        commute_traffic(),
+        burst_watch(),
+        deep_discharge(),
+    )

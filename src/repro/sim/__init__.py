@@ -1,0 +1,27 @@
+"""Discrete-event simulation substrate."""
+
+from .engine import SimEvent, SimulationEngine
+from .tracing import SimSummary, SimTrace, SlotRecord
+from .system import MultiprocessorSystem, Policy, SlotOutcome, SlotState
+from .controller import ManagerPolicy
+from .board_runner import BoardRunner, BoardRunResult, BoardSlot
+from .mission import MissionExecutor, MissionReport, MissionSlot
+
+__all__ = [
+    "SimulationEngine",
+    "SimEvent",
+    "SimTrace",
+    "SlotRecord",
+    "SimSummary",
+    "MultiprocessorSystem",
+    "Policy",
+    "SlotState",
+    "SlotOutcome",
+    "ManagerPolicy",
+    "BoardRunner",
+    "BoardRunResult",
+    "BoardSlot",
+    "MissionExecutor",
+    "MissionReport",
+    "MissionSlot",
+]

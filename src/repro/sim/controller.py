@@ -1,0 +1,67 @@
+"""The controller-processor policy: the proposed algorithm, on-line.
+
+The paper dedicates one of the eight PIM chips to running the power
+manager: it computes ``P_init``, updates it each interval, and commands
+the workers.  :class:`ManagerPolicy` is that chip's software — it adapts
+:class:`~repro.core.manager.DynamicPowerManager` to the simulator's
+:class:`~repro.sim.system.Policy` interface, feeding the *measured* used
+and supplied power of each slot into Algorithm 3.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.manager import DynamicPowerManager
+from ..core.pareto import OperatingPoint
+from .system import SlotOutcome, SlotState
+
+__all__ = ["ManagerPolicy"]
+
+
+class ManagerPolicy:
+    """The proposed dynamic power-management algorithm as a simulator policy.
+
+    Parameters
+    ----------
+    manager:
+        A configured (not necessarily planned) manager.
+    controller_power:
+        Draw of the controller chip itself (W).  The manager budgets the
+        *worker pool*; the simulator adds the controller on top, so the
+        policy subtracts it from the observed usage before reconciling.
+    """
+
+    def __init__(self, manager: DynamicPowerManager, *, controller_power: float = 0.0):
+        if controller_power < 0:
+            raise ValueError("controller_power must be non-negative")
+        self.manager = manager
+        self.controller_power = float(controller_power)
+        self.name = "proposed"
+        self._pending_decision: OperatingPoint | None = None
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        if self.manager.allocation is None:
+            self.manager.plan()
+        self.manager.start()
+        self._pending_decision = None
+
+    def decide(self, state: SlotState) -> OperatingPoint:
+        self._pending_decision = self.manager.decide()
+        return self._pending_decision
+
+    def observe(self, outcome: SlotOutcome) -> None:
+        # Reconcile against what the worker pool really drew and what the
+        # source really delivered (Section 4.3: P_actual in Algorithm 3
+        # "is the real power used for the previous computations").
+        worker_power = max(outcome.delivered_power - self.controller_power, 0.0)
+        self.manager.advance(
+            used_power=worker_power,
+            supplied_power=outcome.supplied_power,
+        )
+        self._pending_decision = None
+
+    def allocated_power(self) -> float:
+        window = self.manager.window
+        return float(window[0]) if window.size else math.nan

@@ -1,0 +1,104 @@
+"""Minimal discrete-event simulation core.
+
+A classic calendar-queue engine: callbacks scheduled at absolute times,
+executed in time order (FIFO among equal timestamps).  The power-management
+simulation is slot-synchronous (the paper updates parameters every ``τ``),
+but the engine is general — the board-level pieces (frequency-change
+wakeups, ring message deliveries) schedule sub-slot events on the same
+timeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["SimEvent", "SimulationEngine"]
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """Handle for a scheduled callback (cancellable)."""
+
+    time: float
+    seq: int
+
+    def __lt__(self, other: "SimEvent") -> bool:  # pragma: no cover - heapq glue
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class SimulationEngine:
+    """Time-ordered callback executor."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._cancelled: set[int] = set()
+        self._events_run = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (s)."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    @property
+    def pending(self) -> int:
+        """Scheduled-but-unexecuted callbacks (including cancelled)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def at(self, time: float, fn: Callable[[], None]) -> SimEvent:
+        """Schedule ``fn`` at absolute ``time`` (must not be in the past)."""
+        if time < self._now - 1e-12:
+            raise ValueError(
+                f"cannot schedule at {time} — current time is {self._now}"
+            )
+        seq = next(self._seq)
+        heapq.heappush(self._queue, (float(time), seq, fn))
+        return SimEvent(float(time), seq)
+
+    def after(self, delay: float, fn: Callable[[], None]) -> SimEvent:
+        """Schedule ``fn`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.at(self._now + delay, fn)
+
+    def cancel(self, event: SimEvent) -> None:
+        """Cancel a pending event (no-op if already executed)."""
+        self._cancelled.add(event.seq)
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        while self._queue:
+            time, seq, fn = heapq.heappop(self._queue)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            self._now = time
+            self._events_run += 1
+            fn()
+            return True
+        return False
+
+    def run_until(self, t_end: float) -> None:
+        """Execute events with ``time <= t_end``; the clock ends at ``t_end``."""
+        if t_end < self._now:
+            raise ValueError("t_end precedes the current time")
+        while self._queue and self._queue[0][0] <= t_end + 1e-12:
+            if not self.step():
+                break
+        self._now = max(self._now, t_end)
+
+    def run(self) -> None:
+        """Drain the queue completely."""
+        while self.step():
+            pass

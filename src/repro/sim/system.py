@@ -1,0 +1,212 @@
+"""Slot-synchronous multiprocessor-system simulation.
+
+Brings together the pieces the paper's Section 5 simulation has: the
+external source charging a bounded battery, events arriving and queueing,
+and a *policy* choosing the multiprocessor operating point every ``τ``.
+Each slot:
+
+1. the policy sees the state (battery, backlog, arrivals forecast) and
+   picks an :class:`~repro.core.pareto.OperatingPoint`;
+2. the source delivers its actual energy and the battery integrates the
+   flows, splitting them into served / wasted / undersupplied exactly
+   (see :class:`~repro.models.battery.Battery`);
+3. the event queue drains at the throughput of the chosen point (scaled
+   down if the battery could not serve the full draw);
+4. the policy observes the measured outcome — the hook the proposed
+   policy uses to run Algorithm 3.
+
+The loop runs on the discrete-event engine so board-level sub-slot events
+(frequency-change wakeups) share the same timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from ..core.pareto import OperatingPoint
+from ..models.battery import Battery, BatterySpec
+from ..models.performance import PerformanceModel
+from ..models.sources import ChargingSource
+from ..util.timegrid import TimeGrid
+from ..workloads.generator import EventTrace
+from .engine import SimulationEngine
+from .tracing import SimTrace, SlotRecord
+
+__all__ = ["SlotState", "SlotOutcome", "Policy", "MultiprocessorSystem"]
+
+
+@dataclass(frozen=True)
+class SlotState:
+    """What a policy may look at before deciding (no oracle access)."""
+
+    slot: int
+    time: float
+    battery_level: float
+    backlog: float  #: events queued from previous slots
+    expected_charging: float  #: planner's forecast for this slot (W)
+    expected_arrivals: float  #: forecast arrivals this slot
+
+
+@dataclass(frozen=True)
+class SlotOutcome:
+    """What actually happened, reported back to the policy."""
+
+    slot: int
+    used_power: float  #: demanded draw (W)
+    delivered_power: float  #: served draw (W)
+    supplied_power: float  #: actual external supply (W)
+    wasted_energy: float
+    undersupplied_energy: float
+    battery_level: float
+    processed: float
+
+
+@runtime_checkable
+class Policy(Protocol):
+    """The decision interface every power-management policy implements."""
+
+    name: str
+
+    def reset(self) -> None:
+        """Prepare for a fresh run (re-plan, zero internal state)."""
+
+    def decide(self, state: SlotState) -> OperatingPoint:
+        """Choose the operating point for the coming slot."""
+
+    def observe(self, outcome: SlotOutcome) -> None:
+        """Receive the measured outcome of the slot just simulated."""
+
+    def allocated_power(self) -> float:
+        """Current planned power (NaN for plan-free policies)."""
+
+
+class MultiprocessorSystem:
+    """The simulated platform: source + battery + queue + policy.
+
+    Parameters
+    ----------
+    grid:
+        Slotting (``τ``, ``T``).
+    source:
+        External charging source (expected + actual faces).
+    spec:
+        Battery description.
+    perf_model:
+        Used to convert operating points into event throughput.
+    events:
+        Arrival counts per slot (length = number of slots to simulate).
+    expected_events:
+        The planner's forecast trace (defaults to ``events`` — a perfect
+        forecast).
+    controller_power:
+        Constant draw of the always-on controller chip (W), added on top
+        of every operating point including the parked one.
+    """
+
+    def __init__(
+        self,
+        grid: TimeGrid,
+        source: ChargingSource,
+        spec: BatterySpec,
+        perf_model: PerformanceModel,
+        events: EventTrace,
+        *,
+        expected_events: EventTrace | None = None,
+        controller_power: float = 0.0,
+    ):
+        if controller_power < 0:
+            raise ValueError("controller_power must be non-negative")
+        self.grid = grid
+        self.source = source
+        self.spec = spec
+        self.perf_model = perf_model
+        self.events = events
+        self.expected_events = expected_events or events
+        if self.expected_events.n_slots < events.n_slots:
+            raise ValueError("expected-event trace shorter than the actual trace")
+        self.controller_power = float(controller_power)
+
+    # ------------------------------------------------------------------
+    def throughput(self, point: OperatingPoint) -> float:
+        """Events per second at an operating point."""
+        if point.n == 0 or point.f == 0:
+            return 0.0
+        return self.perf_model.throughput(point.n, point.f, point.v or None)
+
+    # ------------------------------------------------------------------
+    def run(self, policy: Policy, n_slots: int | None = None) -> SimTrace:
+        """Simulate ``n_slots`` intervals (default: the event trace length)."""
+        n_slots = self.events.n_slots if n_slots is None else int(n_slots)
+        if n_slots > self.events.n_slots:
+            raise ValueError("event trace shorter than the requested run")
+        tau = self.grid.tau
+        engine = SimulationEngine()
+        battery = Battery(self.spec)
+        trace = SimTrace(tau)
+        policy.reset()
+        backlog = 0.0
+        expected_c = self.source.expected()
+
+        def do_slot(k: int) -> None:
+            nonlocal backlog
+            t = engine.now
+            arrivals = float(self.events.counts[k])
+            state = SlotState(
+                slot=k,
+                time=t,
+                battery_level=battery.level,
+                backlog=backlog,
+                expected_charging=expected_c(t),
+                expected_arrivals=float(self.expected_events.counts[k]),
+            )
+            point = policy.decide(state)
+            allocated = policy.allocated_power()
+
+            demanded = point.power + self.controller_power
+            supplied = self.source.actual_slot_energy(t) / tau
+            result = battery.step(supplied, demanded, tau)
+
+            # throughput degrades with the served fraction of the demand
+            served_fraction = (
+                result.drawn / (demanded * tau) if demanded > 0 else 1.0
+            )
+            capacity = self.throughput(point) * tau * served_fraction
+            available = backlog + arrivals
+            processed = min(available, capacity)
+            backlog = available - processed
+
+            outcome = SlotOutcome(
+                slot=k,
+                used_power=demanded,
+                delivered_power=result.drawn / tau,
+                supplied_power=supplied,
+                wasted_energy=result.wasted,
+                undersupplied_energy=result.undersupplied,
+                battery_level=result.level,
+                processed=processed,
+            )
+            policy.observe(outcome)
+            trace.append(
+                SlotRecord(
+                    slot=k,
+                    time=t,
+                    allocated_power=allocated,
+                    n_active=point.n,
+                    frequency=point.f,
+                    used_power=demanded,
+                    delivered_power=result.drawn / tau,
+                    supplied_power=supplied,
+                    wasted_energy=result.wasted,
+                    undersupplied_energy=result.undersupplied,
+                    battery_level=result.level,
+                    arrivals=arrivals,
+                    processed=processed,
+                    backlog=backlog,
+                )
+            )
+
+        for k in range(n_slots):
+            engine.at(k * tau, lambda k=k: do_slot(k))
+        engine.run()
+        return trace

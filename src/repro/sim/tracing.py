@@ -1,0 +1,114 @@
+"""Per-slot simulation traces and summary metrics.
+
+The evaluation compares policies on the paper's two metrics —
+
+* **wasted energy**: external energy that arrived while the battery was
+  full ("energy that was not used for useful computation"), and
+* **undersupplied energy**: "energy needed for computation but not
+  available at that time"
+
+— plus the secondary quantities the tables print (used power, supplied
+power, battery level) and service quality (events processed / dropped).
+:class:`SimTrace` accumulates one :class:`SlotRecord` per interval and
+reduces to a :class:`SimSummary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SlotRecord", "SimSummary", "SimTrace"]
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """Everything that happened in one interval ``τ``."""
+
+    slot: int
+    time: float  #: slot start (s)
+    allocated_power: float  #: planner's P_init at decision time (W); NaN for plan-free policies
+    n_active: int  #: active processors during the slot
+    frequency: float  #: common worker clock (Hz)
+    used_power: float  #: demanded draw (W)
+    delivered_power: float  #: draw actually served by battery+source (W)
+    supplied_power: float  #: external supply (W)
+    wasted_energy: float  #: overflow loss this slot (J)
+    undersupplied_energy: float  #: unmet demand this slot (J)
+    battery_level: float  #: level at slot end (J)
+    arrivals: float  #: events arriving this slot
+    processed: float  #: events completed this slot
+    backlog: float  #: queue length at slot end
+
+
+class SimTrace:
+    """Ordered collection of slot records with summary reductions."""
+
+    def __init__(self, tau: float):
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        self.tau = float(tau)
+        self.records: list[SlotRecord] = []
+
+    def append(self, record: SlotRecord) -> None:
+        if self.records and record.slot != self.records[-1].slot + 1:
+            raise ValueError("slot records must be appended in order")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, i):
+        return self.records[i]
+
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """One field across all records, as an array."""
+        return np.array([getattr(r, name) for r in self.records], dtype=float)
+
+    def summary(self) -> "SimSummary":
+        if not self.records:
+            raise ValueError("empty trace")
+        wasted = float(self.column("wasted_energy").sum())
+        under = float(self.column("undersupplied_energy").sum())
+        supplied = float(self.column("supplied_power").sum() * self.tau)
+        delivered = float(self.column("delivered_power").sum() * self.tau)
+        return SimSummary(
+            duration=len(self.records) * self.tau,
+            wasted_energy=wasted,
+            undersupplied_energy=under,
+            supplied_energy=supplied,
+            used_energy=delivered,
+            energy_utilization=(delivered / supplied) if supplied > 0 else 0.0,
+            events_arrived=float(self.column("arrivals").sum()),
+            events_processed=float(self.column("processed").sum()),
+            final_backlog=float(self.records[-1].backlog),
+            final_battery_level=float(self.records[-1].battery_level),
+        )
+
+
+@dataclass(frozen=True)
+class SimSummary:
+    """Whole-run reductions (the Table 1 quantities and companions)."""
+
+    duration: float  #: simulated seconds
+    wasted_energy: float  #: J — Table 1, metric 1
+    undersupplied_energy: float  #: J — Table 1, metric 2
+    supplied_energy: float  #: J arriving from the external source
+    used_energy: float  #: J actually delivered to computation
+    energy_utilization: float  #: used / supplied (the paper's utilization)
+    events_arrived: float
+    events_processed: float
+    final_backlog: float
+    final_battery_level: float
+
+    @property
+    def service_ratio(self) -> float:
+        """Fraction of arrived events completed."""
+        if self.events_arrived == 0:
+            return 1.0
+        return self.events_processed / self.events_arrived

@@ -1,0 +1,25 @@
+"""Shared utilities: time grids, schedules, validation."""
+
+from .timegrid import TimeGrid
+from .schedule import Schedule
+from .validation import (
+    as_float_array,
+    check_finite,
+    check_finite_array,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "TimeGrid",
+    "Schedule",
+    "as_float_array",
+    "check_finite",
+    "check_finite_array",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

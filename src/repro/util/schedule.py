@@ -1,0 +1,260 @@
+"""Piecewise-constant periodic schedules.
+
+Every time-varying quantity in the paper — expected charging schedule
+``c(t)``, expected event rate ``u(t)``, weight function ``w(t)``, power
+allocation ``P_init(t)`` — is a function over one period ``T`` that the
+algorithms sample and update per slot ``τ``.  :class:`Schedule` stores one
+value per slot on a shared :class:`~repro.util.timegrid.TimeGrid` and
+provides the algebra the algorithms need:
+
+* pointwise arithmetic (``+``, ``-``, ``*``, ``/`` with schedules/scalars),
+* exact integration over arbitrary (wrapping) intervals,
+* cumulative integrals (the battery trajectory of Eq. 10 is
+  ``(c - u_new).cumulative_integral()``),
+* clipping, scaling to a target integral (Eq. 8 normalization), and
+  resampling between grids.
+
+Schedules are immutable; all operations return new instances.  The backing
+store is a contiguous float64 array, so per-period operations are single
+vectorized NumPy expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Union
+
+import numpy as np
+
+from .timegrid import TimeGrid
+from .validation import as_float_array, check_finite
+
+__all__ = ["Schedule"]
+
+Number = Union[int, float]
+
+
+class Schedule:
+    """A periodic, piecewise-constant function of time.
+
+    Parameters
+    ----------
+    grid:
+        The slotted time axis the values live on.
+    values:
+        One value per slot (length ``grid.n_slots``).
+    """
+
+    __slots__ = ("_grid", "_values")
+
+    def __init__(self, grid: TimeGrid, values: Iterable[float]):
+        arr = as_float_array(np.fromiter(values, dtype=float) if not isinstance(values, (np.ndarray, list, tuple)) else values)
+        if arr.size != grid.n_slots:
+            raise ValueError(
+                f"expected {grid.n_slots} values for this grid, got {arr.size}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("schedule values must be finite")
+        arr.flags.writeable = False
+        self._grid = grid
+        self._values = arr
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, grid: TimeGrid, value: float) -> "Schedule":
+        """A schedule equal to ``value`` everywhere."""
+        check_finite("value", value)
+        return cls(grid, np.full(grid.n_slots, float(value)))
+
+    @classmethod
+    def zeros(cls, grid: TimeGrid) -> "Schedule":
+        """The all-zero schedule."""
+        return cls(grid, np.zeros(grid.n_slots))
+
+    @classmethod
+    def from_function(cls, grid: TimeGrid, fn: Callable[[float], float]) -> "Schedule":
+        """Sample ``fn`` at each slot start."""
+        return cls(grid, np.array([fn(t) for t in grid.slot_starts()], dtype=float))
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> TimeGrid:
+        return self._grid
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the per-slot values."""
+        return self._values
+
+    def __call__(self, t: float) -> float:
+        """Evaluate at absolute time ``t`` (periodic)."""
+        return float(self._values[self._grid.slot_of(t)])
+
+    def __getitem__(self, i: int) -> float:
+        """Value in (wrapped) slot ``i``."""
+        return float(self._values[self._grid.slot_index(i)])
+
+    def __len__(self) -> int:
+        return self._grid.n_slots
+
+    def __iter__(self):
+        return iter(self._values)
+
+    # ------------------------------------------------------------------
+    # pointwise algebra
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Union["Schedule", Number]) -> np.ndarray:
+        if isinstance(other, Schedule):
+            if other._grid != self._grid:
+                raise ValueError("schedules live on different time grids")
+            return other._values
+        return np.full(self._grid.n_slots, float(other))
+
+    def _binary(self, other, op) -> "Schedule":
+        return Schedule(self._grid, op(self._values, self._coerce(other)))
+
+    def __add__(self, other):
+        return self._binary(other, np.add)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._binary(other, np.subtract)
+
+    def __rsub__(self, other):
+        return Schedule(self._grid, self._coerce(other) - self._values)
+
+    def __mul__(self, other):
+        return self._binary(other, np.multiply)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        divisor = self._coerce(other)
+        if np.any(divisor == 0):
+            raise ZeroDivisionError("division by a schedule containing zeros")
+        return Schedule(self._grid, self._values / divisor)
+
+    def __neg__(self):
+        return Schedule(self._grid, -self._values)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Schedule)
+            and other._grid == self._grid
+            and np.array_equal(other._values, self._values)
+        )
+
+    def __hash__(self):  # immutable → hashable
+        return hash((self._grid, self._values.tobytes()))
+
+    def allclose(self, other: "Schedule", *, atol: float = 1e-9, rtol: float = 1e-9) -> bool:
+        """Approximate equality on the same grid."""
+        if not isinstance(other, Schedule) or other._grid != self._grid:
+            return False
+        return bool(np.allclose(self._values, other._values, atol=atol, rtol=rtol))
+
+    # ------------------------------------------------------------------
+    # calculus
+    # ------------------------------------------------------------------
+    def integral(self, t0: float = 0.0, t1: float | None = None) -> float:
+        """Exact integral over ``[t0, t1)``, wrapping periodically.
+
+        With no arguments, integrates one full period.  ``t1`` may precede
+        ``t0`` by any number of periods below zero length — the interval is
+        interpreted as a forward sweep of length ``t1 - t0`` (which must be
+        non-negative).
+        """
+        grid = self._grid
+        if t1 is None:
+            t0, t1 = 0.0, grid.period
+        length = t1 - t0
+        if length < -1e-12:
+            raise ValueError(f"integration interval has negative length {length}")
+        if length <= 0:
+            return 0.0
+        full_periods, remainder = divmod(length, grid.period)
+        total = full_periods * float(self._values.sum()) * grid.tau
+        # integrate the remaining partial sweep starting at wrap(t0)
+        t = grid.wrap(t0)
+        remaining = remainder
+        while remaining > 1e-12:
+            slot = grid.slot_of(t)
+            slot_end = (slot + 1) * grid.tau
+            step = min(slot_end - t, remaining)
+            total += self._values[slot] * step
+            remaining -= step
+            t = grid.wrap(t + step)
+        return float(total)
+
+    def cumulative_integral(self, initial: float = 0.0) -> np.ndarray:
+        """Integral from 0 to the *end* of each slot, plus ``initial``.
+
+        Returns an array ``I`` of length ``n_slots`` with
+        ``I[k] = initial + ∫₀^{(k+1)τ} self(v) dv``.  This is exactly the
+        battery-trajectory sampling used in Tables 2 and 4 of the paper:
+        the "Integration" rows are the cumulative surplus at slot ends.
+        """
+        return initial + np.cumsum(self._values) * self._grid.tau
+
+    def mean(self) -> float:
+        """Period-average value."""
+        return float(self._values.mean())
+
+    def total_energy(self) -> float:
+        """Integral over one period (``Σ value·τ``)."""
+        return float(self._values.sum() * self._grid.tau)
+
+    # ------------------------------------------------------------------
+    # shaping
+    # ------------------------------------------------------------------
+    def clip(self, lo: float = -np.inf, hi: float = np.inf) -> "Schedule":
+        """Pointwise clamp into ``[lo, hi]``."""
+        return Schedule(self._grid, np.clip(self._values, lo, hi))
+
+    def scaled_to_integral(self, target: float) -> "Schedule":
+        """Scale so the period integral equals ``target`` (Eq. 8 shape).
+
+        Raises if the schedule integrates to zero (nothing to scale).
+        """
+        current = self.total_energy()
+        if current == 0:
+            raise ValueError("cannot rescale a schedule with zero integral")
+        return self * (target / current)
+
+    def shifted(self, slots: int) -> "Schedule":
+        """Rotate values by ``slots`` positions (positive = later in time)."""
+        return Schedule(self._grid, np.roll(self._values, slots))
+
+    def with_slot(self, i: int, value: float) -> "Schedule":
+        """Copy with (wrapped) slot ``i`` replaced by ``value``."""
+        check_finite("value", value)
+        vals = self._values.copy()
+        vals[self._grid.slot_index(i)] = value
+        return Schedule(self._grid, vals)
+
+    def with_values(self, values: Iterable[float]) -> "Schedule":
+        """Copy carrying the same grid but new values."""
+        return Schedule(self._grid, values)
+
+    def resample(self, grid: TimeGrid) -> "Schedule":
+        """Average-preserving resample onto another grid of the same period.
+
+        Each target slot takes the time-weighted mean of the source over that
+        slot, so the period integral is preserved exactly for any pair of
+        grids sharing the period.
+        """
+        if abs(grid.period - self._grid.period) > 1e-9:
+            raise ValueError("resampling requires grids with equal periods")
+        out = np.empty(grid.n_slots)
+        for k in range(grid.n_slots):
+            t0 = k * grid.tau
+            out[k] = self.integral(t0, t0 + grid.tau) / grid.tau
+        return Schedule(grid, out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = np.array2string(self._values, precision=3, threshold=8)
+        return f"Schedule(n={len(self)}, tau={self._grid.tau}, values={head})"

@@ -1,0 +1,118 @@
+"""Periodic slotted time grids.
+
+The paper's algorithms operate on one charging period ``T`` divided into
+equal update intervals of width ``tau`` (``τ``): system parameters may only
+change at ``t = i·τ`` (Section 4.2), and all schedules — charging ``c(t)``,
+event rate ``u(t)``, weight ``w(t)``, power allocation ``P_init(t)`` — are
+handled per slot.  :class:`TimeGrid` is the single shared description of that
+discretization; every schedule in the library carries one.
+
+The grid is *periodic*: times outside ``[0, T)`` wrap around, mirroring the
+periodic orbit of the satellite charging source.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .validation import check_positive
+
+__all__ = ["TimeGrid"]
+
+
+@dataclass(frozen=True)
+class TimeGrid:
+    """An evenly slotted periodic time axis.
+
+    Parameters
+    ----------
+    period:
+        Length ``T`` of one charging period in seconds.
+    tau:
+        Slot width ``τ`` in seconds.  Must divide ``period`` evenly (to
+        within floating-point tolerance), exactly as in the paper where
+        ``T = 57.6 s`` and ``τ = 4.8 s`` give 12 slots.
+    """
+
+    period: float
+    tau: float
+
+    def __post_init__(self) -> None:
+        check_positive("period", self.period)
+        check_positive("tau", self.tau)
+        ratio = self.period / self.tau
+        if abs(ratio - round(ratio)) > 1e-9 * max(1.0, ratio):
+            raise ValueError(
+                f"tau ({self.tau}) must divide period ({self.period}) evenly; "
+                f"got {ratio} slots"
+            )
+        if round(ratio) < 1:
+            raise ValueError("grid must contain at least one slot")
+
+    # ------------------------------------------------------------------
+    # basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_slots(self) -> int:
+        """Number of slots per period (``T/τ``)."""
+        return int(round(self.period / self.tau))
+
+    def slot_starts(self) -> np.ndarray:
+        """Start times of every slot: ``[0, τ, 2τ, …, T−τ]``."""
+        return np.arange(self.n_slots) * self.tau
+
+    def slot_edges(self) -> np.ndarray:
+        """All slot boundaries including the period end: length ``n_slots+1``."""
+        return np.arange(self.n_slots + 1) * self.tau
+
+    # ------------------------------------------------------------------
+    # time ↔ slot mapping (periodic)
+    # ------------------------------------------------------------------
+    def wrap(self, t: float) -> float:
+        """Map an absolute time onto ``[0, period)``."""
+        if not math.isfinite(t):
+            raise ValueError(f"time must be finite, got {t!r}")
+        wrapped = math.fmod(t, self.period)
+        if wrapped < 0:
+            wrapped += self.period
+        # Guard the fmod(x, p) == p corner produced by rounding.
+        if wrapped >= self.period:
+            wrapped = 0.0
+        return wrapped
+
+    def slot_of(self, t: float) -> int:
+        """Index of the slot containing absolute time ``t`` (periodic)."""
+        wrapped = self.wrap(t)
+        idx = int(wrapped / self.tau)
+        if idx >= self.n_slots:  # defensive: rounding at the far edge
+            idx = self.n_slots - 1
+        return idx
+
+    def slot_index(self, i: int) -> int:
+        """Wrap an arbitrary integer slot index into ``[0, n_slots)``."""
+        return int(i) % self.n_slots
+
+    def time_of_slot(self, i: int) -> float:
+        """Start time of (wrapped) slot ``i``."""
+        return self.slot_index(i) * self.tau
+
+    # ------------------------------------------------------------------
+    # iteration helpers
+    # ------------------------------------------------------------------
+    def slots_from(self, start: int) -> np.ndarray:
+        """One full period of slot indices beginning at ``start`` (wrapped).
+
+        Useful for the wrap-around pass of Algorithm 1 (lines 19–20), which
+        treats ``[t0, T) ∪ [0, t1)`` as one contiguous segment.
+        """
+        start = self.slot_index(start)
+        return (np.arange(self.n_slots) + start) % self.n_slots
+
+    def __len__(self) -> int:
+        return self.n_slots
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimeGrid(period={self.period}, tau={self.tau}, n_slots={self.n_slots})"

@@ -1,0 +1,85 @@
+"""Shared argument-validation helpers.
+
+Small, dependency-free checks used across the library.  Each helper raises
+:class:`ValueError` (or :class:`TypeError`) with a message that names the
+offending argument, so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_finite",
+    "check_finite_array",
+    "check_probability",
+    "as_float_array",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it for chaining."""
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return float(value)
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Require ``lo <= value <= hi`` (or strict bounds if not inclusive)."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if inclusive:
+        if not (lo <= value <= hi):
+            raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    else:
+        if not (lo < value < hi):
+            raise ValueError(f"{name} must be in ({lo}, {hi}), got {value!r}")
+    return float(value)
+
+
+def check_finite(name: str, value: float) -> float:
+    """Require a finite float; return it for chaining."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return float(value)
+
+
+def check_finite_array(name: str, values: Iterable[float]) -> np.ndarray:
+    """Coerce to a float array and require all entries finite."""
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    return arr
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def as_float_array(values: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Return a 1-D contiguous float64 copy of ``values``."""
+    arr = np.array(values, dtype=float, copy=True)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D sequence, got shape {arr.shape}")
+    return np.ascontiguousarray(arr)

@@ -1,0 +1,62 @@
+"""Application substrate: fixed-point FFT, FORTE pipeline, task graphs, events."""
+
+from .fixedpoint import (
+    Q15_MAX,
+    Q15_MIN,
+    Q15_ONE,
+    from_q15,
+    q15_add,
+    q15_mul,
+    q15_neg,
+    q15_shr,
+    q15_sub,
+    to_q15,
+)
+from .fft import (
+    FFT_CAL_CYCLES,
+    FFT_CAL_SIZE,
+    FftWorkUnit,
+    bit_reverse_permutation,
+    fft_cycles,
+    fft_q15,
+    fft_q15_to_complex,
+    twiddle_table_q15,
+)
+from .taskgraph import TaskGraph, fft_task_graph
+from .forte import Detection, ForteConfig, ForteDetector, synth_noise, synth_transient
+from .generator import EventTrace, bursty_trace, expected_counts, poisson_trace
+from .comm import CommAwareTask, ring_hop_cost
+
+__all__ = [
+    "Q15_ONE",
+    "Q15_MAX",
+    "Q15_MIN",
+    "to_q15",
+    "from_q15",
+    "q15_add",
+    "q15_sub",
+    "q15_mul",
+    "q15_neg",
+    "q15_shr",
+    "fft_q15",
+    "fft_q15_to_complex",
+    "fft_cycles",
+    "FftWorkUnit",
+    "FFT_CAL_SIZE",
+    "FFT_CAL_CYCLES",
+    "bit_reverse_permutation",
+    "twiddle_table_q15",
+    "TaskGraph",
+    "fft_task_graph",
+    "ForteConfig",
+    "ForteDetector",
+    "Detection",
+    "synth_noise",
+    "synth_transient",
+    "EventTrace",
+    "expected_counts",
+    "poisson_trace",
+    "bursty_trace",
+    "CommAwareTask",
+    "ring_hop_cost",
+]

@@ -1,0 +1,100 @@
+"""Communication-aware task timing (paper footnote 2).
+
+The paper's models "ignore the cost of communication … this simplified
+model does not limit the applicability of the algorithms presented in
+this paper except Equation (18)."  This module supplies the missing
+piece so that exception can be quantified: a Fig. 2 task graph whose
+serial portion grows with the processor count, because distributing the
+parallel stage and gathering its results ride the unidirectional ring.
+
+Model
+-----
+Scattering inputs to ``n`` workers and gathering their results costs one
+ring traversal per extra worker: ``t_comm(n) = (n − 1) · t_hop_payload``,
+where ``t_hop_payload`` covers the per-hop latency plus the payload
+serialization of one worker's share (see
+:meth:`~repro.hw.ring.RingNetwork.latency`).  The execution time becomes::
+
+    t(n, f) = (Ts + Tp/n) · f_ref/f  +  (n − 1) · t_comm_hop
+
+— communication does not scale with the clock (the ring runs off the
+FPGA), which is exactly why it bends the Eq. 14/17 trade-off: past the
+point where ``Tp/n²`` dips below ``t_comm_hop`` adding processors *slows
+the task down*, capping the useful pool size regardless of power budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.ring import RingNetwork
+from ..util.validation import check_non_negative, check_positive
+from .taskgraph import TaskGraph
+
+__all__ = ["CommAwareTask", "ring_hop_cost"]
+
+
+def ring_hop_cost(ring: RingNetwork, payload_bytes: int) -> float:
+    """Per-extra-worker communication time on a ring (s).
+
+    One scatter hop plus one gather hop with the given payload each way.
+    """
+    check_non_negative("payload_bytes", payload_bytes)
+    return 2.0 * ring.latency(0, 1, payload_bytes)
+
+
+@dataclass(frozen=True)
+class CommAwareTask:
+    """A Fig. 2 task graph plus ring scatter/gather cost.
+
+    Parameters
+    ----------
+    graph:
+        The compute-only task structure (cycles).
+    f_ref:
+        Clock the graph's cycle counts are calibrated at.
+    comm_hop_s:
+        Wall seconds of communication added per extra worker
+        (clock-independent; the interconnect runs at its own speed).
+    """
+
+    graph: TaskGraph
+    f_ref: float
+    comm_hop_s: float
+
+    def __post_init__(self) -> None:
+        check_positive("f_ref", self.f_ref)
+        check_non_negative("comm_hop_s", self.comm_hop_s)
+
+    # ------------------------------------------------------------------
+    def execution_time(self, n: int, frequency_hz: float) -> float:
+        """Wall seconds for one task on ``n`` workers at clock ``frequency_hz``."""
+        compute = self.graph.execution_time(n, frequency_hz)
+        return compute + (n - 1) * self.comm_hop_s
+
+    def throughput(self, n: int, frequency_hz: float) -> float:
+        """Tasks per second."""
+        return 1.0 / self.execution_time(n, frequency_hz)
+
+    def optimal_workers(self, frequency_hz: float, n_max: int) -> int:
+        """The processor count minimizing task time at a fixed clock.
+
+        With free communication this is always ``n_max`` (Amdahl time is
+        decreasing in ``n``); with a ring cost it is interior: adding a
+        worker helps only while ``Tp/(n(n+1)) · f_ref/f > comm_hop``.
+        """
+        if n_max < 1:
+            raise ValueError("n_max must be >= 1")
+        best_n, best_t = 1, self.execution_time(1, frequency_hz)
+        for n in range(2, n_max + 1):
+            t = self.execution_time(n, frequency_hz)
+            if t < best_t:
+                best_n, best_t = n, t
+        return best_n
+
+    def speedup(self, n: int, frequency_hz: float) -> float:
+        """Speedup over one worker at the same clock (can be < 1 when
+        communication dominates)."""
+        return self.execution_time(1, frequency_hz) / self.execution_time(
+            n, frequency_hz
+        )

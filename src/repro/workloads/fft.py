@@ -1,0 +1,168 @@
+"""Fixed-point radix-2 FFT — the paper's compute kernel (Section 5).
+
+The FORTE application spends ~60% of its time in an FFT over 2K samples;
+the paper implements it in fixed point (no FPU on the M32R/D) and measures
+4.8 s per 2K FFT at 20 MHz — the number that sets the whole evaluation's
+time base.  This module provides:
+
+* :func:`fft_q15` — a decimation-in-time radix-2 FFT on Q15 data with
+  per-stage scaling (each butterfly stage halves the data before
+  combining, the standard block-floating guard against overflow).  The
+  output is ``X / N`` in Q15 plus the applied scale exponent; tests verify
+  it against ``numpy.fft`` within Q15 quantization error.
+* :class:`FftWorkUnit` / :func:`fft_cycles` — the cycle-cost model pinned
+  to the paper's calibration point (4.8 s × 20 MHz = 96 M cycles per 2K
+  FFT), with ``N·log₂N`` scaling for other sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fixedpoint import from_q15, q15_add, q15_mul, q15_shr, q15_sub, to_q15
+
+__all__ = [
+    "bit_reverse_permutation",
+    "twiddle_table_q15",
+    "fft_q15",
+    "fft_q15_to_complex",
+    "FFT_CAL_SIZE",
+    "FFT_CAL_CYCLES",
+    "fft_cycles",
+    "FftWorkUnit",
+]
+
+# ----------------------------------------------------------------------
+# calibration (paper Section 5)
+# ----------------------------------------------------------------------
+FFT_CAL_SIZE = 2048  #: the measured transform length
+FFT_CAL_CYCLES = 4.8 * 20e6  #: 96 M cycles: 4.8 s at 20 MHz
+
+
+def fft_cycles(n: int) -> float:
+    """Cycle cost of an ``n``-point fixed-point FFT on one M32R/D.
+
+    ``N·log₂N`` scaling anchored at the paper's measured 2K point.
+    """
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"FFT size must be a power of two >= 2, got {n}")
+    ref = FFT_CAL_SIZE * np.log2(FFT_CAL_SIZE)
+    return FFT_CAL_CYCLES * (n * np.log2(n)) / ref
+
+
+@dataclass(frozen=True)
+class FftWorkUnit:
+    """One FFT to execute: size and the cycles it will cost."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        fft_cycles(self.size)  # validates
+
+    @property
+    def cycles(self) -> float:
+        return fft_cycles(self.size)
+
+    def seconds_at(self, frequency_hz: float) -> float:
+        """Single-processor wall time at a given clock."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.cycles / frequency_hz
+
+
+# ----------------------------------------------------------------------
+# the transform
+# ----------------------------------------------------------------------
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Index permutation for decimation-in-time input reordering."""
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"FFT size must be a power of two >= 2, got {n}")
+    bits = int(np.log2(n))
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros_like(idx)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx >>= 1
+    return rev
+
+
+def twiddle_table_q15(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Q15 cosine/−sine tables for an ``n``-point DIT FFT.
+
+    On the board these live in the PIM's on-chip DRAM; here they are
+    quantized exactly as the chip would store them.
+    """
+    k = np.arange(n // 2)
+    angle = -2.0 * np.pi * k / n
+    return to_q15(np.cos(angle)), to_q15(np.sin(angle))
+
+
+def fft_q15(
+    real: np.ndarray,
+    imag: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """In-place-style radix-2 DIT FFT on Q15 data with per-stage scaling.
+
+    Parameters
+    ----------
+    real, imag:
+        Q15 input arrays (int32); ``imag`` defaults to zeros.
+
+    Returns
+    -------
+    (re, im, scale_exponent):
+        Q15 spectrum scaled by ``2^−scale_exponent`` — with one halving per
+        stage the exponent is ``log₂N``, i.e. the function returns
+        ``FFT(x)/N`` (which also keeps every intermediate within Q15).
+    """
+    re = np.array(real, dtype=np.int32, copy=True)
+    if imag is None:
+        im = np.zeros_like(re)
+    else:
+        im = np.array(imag, dtype=np.int32, copy=True)
+        if im.shape != re.shape:
+            raise ValueError("real and imaginary parts must have equal length")
+    n = re.size
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"FFT size must be a power of two >= 2, got {n}")
+
+    perm = bit_reverse_permutation(n)
+    re, im = re[perm], im[perm]
+    cos_t, sin_t = twiddle_table_q15(n)
+
+    stages = int(np.log2(n))
+    half = 1
+    for _ in range(stages):
+        # block-floating guard: halve before combining so the butterfly
+        # sum cannot overflow Q15
+        re = q15_shr(re, 1)
+        im = q15_shr(im, 1)
+        step = n // (2 * half)
+        k = np.arange(half)
+        w_re = cos_t[k * step]
+        w_im = sin_t[k * step]
+        # butterflies, vectorized over the groups
+        idx = np.arange(0, n, 2 * half)[:, None] + k[None, :]
+        top = idx
+        bot = idx + half
+        t_re = q15_sub(q15_mul(re[bot], w_re), q15_mul(im[bot], w_im))
+        t_im = q15_add(q15_mul(re[bot], w_im), q15_mul(im[bot], w_re))
+        re[bot] = q15_sub(re[top], t_re)
+        im[bot] = q15_sub(im[top], t_im)
+        re[top] = q15_add(re[top], t_re)
+        im[top] = q15_add(im[top], t_im)
+        half *= 2
+    return re, im, stages
+
+
+def fft_q15_to_complex(
+    real: np.ndarray,
+    imag: np.ndarray | None = None,
+) -> np.ndarray:
+    """Run :func:`fft_q15` and undo the scaling: a float spectrum directly
+    comparable to ``numpy.fft.fft`` of the dequantized input."""
+    re, im, scale = fft_q15(real, imag)
+    factor = float(1 << scale)
+    return (from_q15(re) + 1j * from_q15(im)) * factor

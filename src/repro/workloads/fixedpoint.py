@@ -1,0 +1,93 @@
+"""Q15 fixed-point arithmetic (paper Section 5).
+
+"Since our platform does not support floating-point operations, we
+implemented fixed-point FFT operations."  The M32R/D is a 32-bit integer
+core, so the natural signal format is Q15: 16-bit two's-complement with 15
+fractional bits, values in ``[−1, 1 − 2⁻¹⁵]``.  This module provides the
+Q15 primitive set the FFT is built from — conversion, saturating add/sub,
+and rounding multiply — vectorized over NumPy int arrays (int32
+accumulators, exactly like the 32-bit multiply-accumulate path on the
+chip).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Q15_FRAC_BITS",
+    "Q15_ONE",
+    "Q15_MAX",
+    "Q15_MIN",
+    "to_q15",
+    "from_q15",
+    "q15_saturate",
+    "q15_add",
+    "q15_sub",
+    "q15_mul",
+    "q15_neg",
+    "q15_shr",
+]
+
+Q15_FRAC_BITS = 15
+Q15_ONE = 1 << Q15_FRAC_BITS  #: 32768 — the (unrepresentable) value +1.0
+Q15_MAX = Q15_ONE - 1  #: 0.99997
+Q15_MIN = -Q15_ONE  #: −1.0
+
+
+def to_q15(x: np.ndarray | float) -> np.ndarray:
+    """Quantize real values in [−1, 1) to Q15 (round-to-nearest, saturate)."""
+    arr = np.asarray(x, dtype=np.float64)
+    scaled = np.round(arr * Q15_ONE)
+    return q15_saturate(scaled.astype(np.int64)).astype(np.int32)
+
+
+def from_q15(x: np.ndarray | int) -> np.ndarray:
+    """Q15 back to float."""
+    return np.asarray(x, dtype=np.float64) / Q15_ONE
+
+
+def q15_saturate(x: np.ndarray) -> np.ndarray:
+    """Clamp a wide-integer result into the Q15 range."""
+    return np.clip(np.asarray(x), Q15_MIN, Q15_MAX)
+
+
+def q15_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Saturating Q15 addition."""
+    return q15_saturate(
+        np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+    ).astype(np.int32)
+
+
+def q15_sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Saturating Q15 subtraction."""
+    return q15_saturate(
+        np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64)
+    ).astype(np.int32)
+
+
+def q15_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Q15 × Q15 → Q15 with round-half-up and saturation.
+
+    The 32-bit product carries 30 fractional bits; the hardware idiom adds
+    the half-LSB (``1 << 14``) before shifting right by 15.
+    """
+    prod = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    rounded = (prod + (1 << (Q15_FRAC_BITS - 1))) >> Q15_FRAC_BITS
+    return q15_saturate(rounded).astype(np.int32)
+
+
+def q15_neg(a: np.ndarray) -> np.ndarray:
+    """Saturating negation (−(−1.0) saturates to Q15_MAX)."""
+    return q15_saturate(-np.asarray(a, dtype=np.int64)).astype(np.int32)
+
+
+def q15_shr(a: np.ndarray, bits: int) -> np.ndarray:
+    """Arithmetic shift right with round-half-up (scale by 2^−bits)."""
+    if bits < 0:
+        raise ValueError("shift count must be non-negative")
+    if bits == 0:
+        return np.asarray(a, dtype=np.int32)
+    wide = np.asarray(a, dtype=np.int64)
+    rounded = (wide + (1 << (bits - 1))) >> bits
+    return q15_saturate(rounded).astype(np.int32)

@@ -1,0 +1,162 @@
+"""FORTE RF-event detection pipeline (paper Section 5, ref. [18]/[19]).
+
+FORTE (Fast On-Orbit Recording of Transient Events) watches for RF
+transients from orbit: an analogue threshold circuit triggers on raw
+antenna samples, then digital signal processing — dominated by an FFT —
+decides whether the burst "has the characteristics of an interesting RF
+event".  The paper implements only the FFT portion; here the full
+simplified pipeline is built so the examples and the simulator have a real
+workload:
+
+1. **Trigger** — compare the peak sample magnitude against a threshold
+   (the analogue circuit's digital stand-in).
+2. **Transform** — the fixed-point 2K FFT of :mod:`repro.workloads.fft`.
+3. **Classify** — an interesting event concentrates energy in a band:
+   the classifier compares in-band spectral energy against the broadband
+   mean (transient RF pulses are band-limited; noise is flat).
+
+A synthetic signal generator produces noise, and band-limited chirp
+transients of adjustable SNR, so detector quality is testable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fft import FFT_CAL_SIZE, FftWorkUnit, fft_q15
+from .fixedpoint import from_q15, to_q15
+
+__all__ = [
+    "ForteConfig",
+    "Detection",
+    "ForteDetector",
+    "synth_noise",
+    "synth_transient",
+]
+
+
+@dataclass(frozen=True)
+class ForteConfig:
+    """Detector tuning.
+
+    ``band`` is the normalized frequency band (fractions of Nyquist) an
+    interesting transient occupies; ``trigger_threshold`` the peak
+    magnitude (in [0, 1)) that fires the front-end; ``band_ratio`` the
+    in-band-to-mean energy ratio that classifies a trigger as interesting.
+    """
+
+    n_points: int = FFT_CAL_SIZE
+    trigger_threshold: float = 0.25
+    band: tuple[float, float] = (0.10, 0.35)
+    band_ratio: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.n_points < 8 or self.n_points & (self.n_points - 1):
+            raise ValueError("n_points must be a power of two >= 8")
+        if not 0.0 < self.trigger_threshold < 1.0:
+            raise ValueError("trigger_threshold must be in (0, 1)")
+        lo, hi = self.band
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ValueError("band must satisfy 0 <= lo < hi <= 1")
+        if self.band_ratio <= 1.0:
+            raise ValueError("band_ratio must exceed 1")
+
+
+@dataclass(frozen=True)
+class Detection:
+    """Outcome of processing one sample window."""
+
+    triggered: bool  #: front-end threshold fired
+    interesting: bool  #: classifier accepted the spectrum
+    peak_magnitude: float  #: max |sample| seen by the trigger
+    band_energy_ratio: float  #: in-band / broadband mean energy (0 if untriggered)
+    cycles: float  #: compute cycles this window cost
+
+
+class ForteDetector:
+    """The trigger → FFT → classify pipeline."""
+
+    #: Relative cost of the trigger scan and classifier vs. the FFT — the
+    #: paper: FFT is "about 60% of the execution time", so the rest of the
+    #: per-event processing costs ~2/3 of the FFT cycles again.
+    NON_FFT_OVERHEAD = 0.6667
+
+    def __init__(self, config: ForteConfig | None = None):
+        self.config = config or ForteConfig()
+        self._fft_unit = FftWorkUnit(self.config.n_points)
+
+    # ------------------------------------------------------------------
+    @property
+    def cycles_per_event(self) -> float:
+        """Total per-window cycles (FFT + trigger/classify overhead)."""
+        return self._fft_unit.cycles * (1.0 + self.NON_FFT_OVERHEAD)
+
+    @property
+    def trigger_cycles(self) -> float:
+        """Cycles of the cheap front-end scan alone (untriggered windows)."""
+        return self._fft_unit.cycles * self.NON_FFT_OVERHEAD * 0.1
+
+    # ------------------------------------------------------------------
+    def process(self, samples: np.ndarray) -> Detection:
+        """Run the pipeline on one window of real samples in [−1, 1)."""
+        samples = np.asarray(samples, dtype=float)
+        if samples.size != self.config.n_points:
+            raise ValueError(
+                f"expected {self.config.n_points} samples, got {samples.size}"
+            )
+        peak = float(np.max(np.abs(samples)))
+        if peak < self.config.trigger_threshold:
+            return Detection(False, False, peak, 0.0, self.trigger_cycles)
+
+        q = to_q15(samples)
+        re, im, scale = fft_q15(q)
+        spectrum = (from_q15(re) + 1j * from_q15(im)) * float(1 << scale)
+        power = np.abs(spectrum[: self.config.n_points // 2]) ** 2
+
+        lo, hi = self.config.band
+        nyq = power.size
+        band = power[int(lo * nyq) : max(int(hi * nyq), int(lo * nyq) + 1)]
+        mean_all = float(power.mean()) or 1e-30
+        ratio = float(band.mean()) / mean_all
+        interesting = ratio >= self.config.band_ratio
+        return Detection(True, interesting, peak, ratio, self.cycles_per_event)
+
+
+# ----------------------------------------------------------------------
+# synthetic signals
+# ----------------------------------------------------------------------
+def synth_noise(
+    n_points: int,
+    *,
+    amplitude: float = 0.05,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Flat background noise below the trigger threshold."""
+    rng = rng or np.random.default_rng(0)
+    return np.clip(rng.normal(0.0, amplitude, n_points), -0.999, 0.999)
+
+
+def synth_transient(
+    n_points: int,
+    *,
+    center: float = 0.2,
+    width: float = 0.1,
+    amplitude: float = 0.6,
+    noise: float = 0.05,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """A band-limited RF transient: windowed chirp sweeping ``center ± width/2``
+    (normalized to Nyquist) on top of background noise — the dispersed
+    sferic shape FORTE classifies."""
+    if not 0.0 < center < 1.0:
+        raise ValueError("center must be a fraction of Nyquist in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    t = np.arange(n_points)
+    f0 = (center - width / 2.0) / 2.0  # cycles/sample (Nyquist = 0.5)
+    f1 = (center + width / 2.0) / 2.0
+    phase = 2.0 * np.pi * (f0 * t + (f1 - f0) * t**2 / (2.0 * n_points))
+    envelope = np.hanning(n_points)
+    signal = amplitude * envelope * np.sin(phase)
+    return np.clip(signal + rng.normal(0.0, noise, n_points), -0.999, 0.999)

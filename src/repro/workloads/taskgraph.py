@@ -1,0 +1,111 @@
+"""Serial–parallel–serial task graphs (paper Figure 2).
+
+The applications the paper targets have an initial stage ``S``, ``N``
+parallel tasks ``T₁…T_N``, and a final stage ``E``.  :class:`TaskGraph`
+captures that structure in *cycles* (the hardware-level currency) and
+converts to the ``(Tt, Ts)`` seconds-at-reference-clock pair the
+performance model (Eq. 2/3) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.performance import PerformanceModel
+from ..models.voltage import VoltageFrequencyMap
+from ..util.validation import check_non_negative, check_positive
+from .fft import FftWorkUnit
+
+__all__ = ["TaskGraph", "fft_task_graph"]
+
+
+@dataclass(frozen=True)
+class TaskGraph:
+    """Fig. 2 structure in clock cycles.
+
+    ``head_cycles`` (stage S) and ``tail_cycles`` (stage E) are inherently
+    serial; ``parallel_cycles`` is the total work of the parallel stage,
+    divisible across processors.
+    """
+
+    head_cycles: float
+    parallel_cycles: float
+    tail_cycles: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("head_cycles", self.head_cycles)
+        check_non_negative("parallel_cycles", self.parallel_cycles)
+        check_non_negative("tail_cycles", self.tail_cycles)
+        if self.total_cycles == 0:
+            raise ValueError("task graph has no work")
+
+    # ------------------------------------------------------------------
+    @property
+    def serial_cycles(self) -> float:
+        """``S + E`` — the Amdahl serial portion."""
+        return self.head_cycles + self.tail_cycles
+
+    @property
+    def total_cycles(self) -> float:
+        return self.serial_cycles + self.parallel_cycles
+
+    @property
+    def serial_fraction(self) -> float:
+        return self.serial_cycles / self.total_cycles
+
+    # ------------------------------------------------------------------
+    def execution_cycles(self, n: int) -> float:
+        """Critical-path cycles on ``n`` processors (Eq. 2's shape)."""
+        if n < 1:
+            raise ValueError("need at least one processor")
+        return self.serial_cycles + self.parallel_cycles / n
+
+    def execution_time(self, n: int, frequency_hz: float) -> float:
+        """Wall seconds on ``n`` processors at a common clock."""
+        check_positive("frequency_hz", frequency_hz)
+        return self.execution_cycles(n) / frequency_hz
+
+    def speedup(self, n: int) -> float:
+        return self.execution_cycles(1) / self.execution_cycles(n)
+
+    # ------------------------------------------------------------------
+    def to_performance_model(
+        self,
+        f_ref: float,
+        vf_map: VoltageFrequencyMap,
+        *,
+        c1: float = 1.0,
+    ) -> PerformanceModel:
+        """Bridge to Eq. 3: ``Tt = total/f_ref``, ``Ts = serial/f_ref``."""
+        check_positive("f_ref", f_ref)
+        return PerformanceModel(
+            t_total=self.total_cycles / f_ref,
+            t_serial=self.serial_cycles / f_ref,
+            f_ref=f_ref,
+            vf_map=vf_map,
+            c1=c1,
+        )
+
+
+def fft_task_graph(
+    n_points: int = 2048,
+    *,
+    serial_fraction: float = 0.10,
+) -> TaskGraph:
+    """The FORTE FFT task as a Fig. 2 graph.
+
+    The transform itself parallelizes across butterfly groups; the trigger
+    handling, input distribution, and result gather form the serial head
+    and tail.  ``serial_fraction`` splits the calibrated total cycle count
+    (see :mod:`repro.workloads.fft`) — the paper does not print ``Ts``, so
+    the split is a modeling choice recorded in DESIGN.md.
+    """
+    if not 0.0 <= serial_fraction < 1.0:
+        raise ValueError("serial_fraction must be in [0, 1)")
+    total = FftWorkUnit(n_points).cycles
+    serial = total * serial_fraction
+    return TaskGraph(
+        head_cycles=serial / 2.0,
+        parallel_cycles=total - serial,
+        tail_cycles=serial / 2.0,
+    )

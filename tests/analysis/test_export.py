@@ -1,0 +1,86 @@
+"""CSV exporters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import (
+    allocation_table_csv,
+    csv_lines,
+    energy_run_csv,
+    manager_history_csv,
+    runtime_table_csv,
+    sim_trace_csv,
+)
+from repro.analysis.energy import run_managed
+from repro.analysis.tables import allocation_table, runtime_table
+from repro.core.manager import DynamicPowerManager
+
+
+class TestCsvLines:
+    def test_basic(self):
+        out = csv_lines(["a", "b"], [[1, 2.5], ["x", 0.1]])
+        assert out.splitlines() == ["a,b", "1,2.5", "x,0.1"]
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            csv_lines(["a"], [[1, 2]])
+
+    def test_float_precision(self):
+        out = csv_lines(["v"], [[1 / 3]])
+        assert out.splitlines()[1].startswith("0.333333333")
+
+
+class TestTableExports:
+    def test_allocation_csv_shape(self, sc1):
+        table = allocation_table(sc1)
+        lines = allocation_table_csv(table).splitlines()
+        assert lines[0].startswith("iteration,row,t0")
+        # two rows per iteration plus header
+        assert len(lines) == 1 + 2 * table.n_iterations
+
+    def test_runtime_csv_shape(self, sc1):
+        table = runtime_table(sc1, n_periods=1)
+        lines = runtime_table_csv(table).splitlines()
+        assert len(lines) == 13
+        assert "pinit_11" in lines[0]
+
+    def test_energy_run_csv(self, sc1, frontier):
+        result = run_managed(sc1, frontier, n_periods=1)
+        lines = energy_run_csv(result).splitlines()
+        assert len(lines) == 13
+        first = lines[1].split(",")
+        assert int(first[0]) == 0
+        assert float(first[1]) == pytest.approx(result.used_power[0])
+
+    def test_manager_history_csv(self, sc1, frontier):
+        mgr = DynamicPowerManager(
+            sc1.charging, sc1.event_demand, frontier=frontier, spec=sc1.spec
+        )
+        mgr.start()
+        mgr.run(5)
+        lines = manager_history_csv(mgr.history).splitlines()
+        assert len(lines) == 6
+        assert lines[0].startswith("slot,time,allocated_power")
+
+    def test_sim_trace_csv(self, sc1, frontier):
+        from repro.baselines.static import StaticPolicy
+        from repro.models.events import constant_rate
+        from repro.models.sources import ScheduledSource
+        from repro.scenarios.paper import pama_performance_model
+        from repro.sim.system import MultiprocessorSystem
+        from repro.workloads.generator import expected_counts
+
+        events = expected_counts(constant_rate(sc1.grid, 0.1))
+        system = MultiprocessorSystem(
+            sc1.grid,
+            ScheduledSource(sc1.charging),
+            sc1.spec,
+            pama_performance_model(),
+            events,
+        )
+        trace = system.run(StaticPolicy(frontier))
+        lines = sim_trace_csv(trace).splitlines()
+        assert len(lines) == 13
+        assert lines[0].split(",")[0] == "slot"

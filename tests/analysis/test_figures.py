@@ -1,0 +1,86 @@
+"""Figure generators (paper Figures 3–4) and the ASCII plotter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.asciiplot import Series, ascii_plot, step_series
+from repro.analysis.figures import figure3, figure4, scenario_figure
+
+
+class TestFigureData:
+    def test_figure3_series_match_scenario1(self, sc1):
+        fig = figure3()
+        np.testing.assert_allclose(
+            fig.series["Charging schedule"], sc1.charging.values
+        )
+        np.testing.assert_allclose(
+            fig.series["Use schedule"], sc1.event_demand.values
+        )
+
+    def test_figure4_series_match_scenario2(self, sc2):
+        fig = figure4()
+        np.testing.assert_allclose(
+            fig.series["Charging schedule"], sc2.charging.values
+        )
+
+    def test_allocation_overlay(self):
+        fig = figure3(include_allocation=True)
+        assert "Allocated (Alg. 1)" in fig.series
+        alloc = fig.series["Allocated (Alg. 1)"]
+        assert alloc.shape == (12,)
+        assert np.all(alloc >= 0)
+
+    def test_csv_export(self):
+        fig = figure3()
+        csv = fig.csv()
+        lines = csv.splitlines()
+        assert lines[0].startswith("time,")
+        assert len(lines) == 13  # header + 12 slots
+        first = lines[1].split(",")
+        assert float(first[0]) == 0.0
+        assert float(first[1]) == pytest.approx(2.36)
+
+    def test_text_contains_legend_and_axes(self):
+        text = figure3().text()
+        assert "Charging schedule" in text
+        assert "Power (W)" in text
+        assert "Time (Sec)" in text
+
+    def test_scenario_figure_names(self, sc2):
+        fig = scenario_figure(sc2)
+        assert fig.name == "figure-scenario2"
+
+
+class TestAsciiPlot:
+    def test_step_series_duplicates_edges(self):
+        s = step_series("x", np.array([0.0, 1.0]), np.array([2.0, 3.0]), tau=1.0)
+        np.testing.assert_allclose(s.x, [0, 1, 1, 2])
+        np.testing.assert_allclose(s.y, [2, 2, 3, 3])
+
+    def test_plot_renders_all_series_glyphs(self):
+        a = Series("alpha", np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        b = Series("beta", np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+        text = ascii_plot([a, b], title="t", y_label="y", x_label="x")
+        assert "*" in text and "o" in text
+        assert "alpha" in text and "beta" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([])
+        with pytest.raises(ValueError):
+            Series("bad", np.array([]), np.array([]))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Series("bad", np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_canvas_size_validated(self):
+        s = Series("x", np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            ascii_plot([s], width=5, height=2)
+
+    def test_constant_series_plots(self):
+        s = Series("flat", np.array([0.0, 1.0]), np.array([2.0, 2.0]))
+        assert "flat" in ascii_plot([s])

@@ -1,0 +1,65 @@
+"""Shared metric helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    battery_excursion,
+    energy_books,
+    reduction_factor,
+)
+from repro.models.battery import BatterySpec
+
+
+class TestEnergyBooks:
+    def test_matches_manual_battery_walk(self):
+        spec = BatterySpec(c_max=5.0, c_min=0.0, initial=2.0)
+        supply = np.array([3.0, 0.0, 0.0])
+        demand = np.array([0.0, 1.0, 5.0])
+        books = energy_books(supply, demand, spec, tau=2.0)
+        assert books.supplied == pytest.approx(6.0)
+        # slot 0: charge 6 J, store 3, waste 3; slot 1: draw 2; slot 2:
+        # want 10, reserve 3 → undersupply 7
+        assert books.wasted == pytest.approx(3.0)
+        assert books.undersupplied == pytest.approx(7.0)
+        assert books.delivered == pytest.approx(2.0 + 3.0)
+        assert books.utilization == pytest.approx(5.0 / 6.0)
+
+    def test_zero_supply_utilization(self):
+        spec = BatterySpec(c_max=5.0, c_min=0.0, initial=2.0)
+        books = energy_books(np.zeros(2), np.zeros(2), spec, tau=1.0)
+        assert books.utilization == 0.0
+
+    def test_shape_mismatch(self):
+        spec = BatterySpec(c_max=1.0)
+        with pytest.raises(ValueError):
+            energy_books(np.zeros(2), np.zeros(3), spec, tau=1.0)
+
+
+class TestReductionFactor:
+    def test_paper_headline(self):
+        assert reduction_factor(40.93, 13.68) == pytest.approx(2.99, abs=0.01)
+
+    def test_zero_improved_is_infinite(self):
+        assert reduction_factor(10.0, 0.0) == float("inf")
+
+    def test_zero_baseline(self):
+        assert reduction_factor(0.0, 0.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            reduction_factor(-1.0, 1.0)
+
+
+class TestExcursion:
+    def test_headroom_and_reserve(self):
+        spec = BatterySpec(c_max=10.0, c_min=1.0, initial=5.0)
+        headroom, reserve = battery_excursion(np.array([2.0, 8.0, 4.0]), spec)
+        assert headroom == pytest.approx(2.0)
+        assert reserve == pytest.approx(1.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            battery_excursion(np.array([]), BatterySpec(c_max=1.0))

@@ -1,0 +1,52 @@
+"""Report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ComparisonRow, format_comparison, format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(
+            ["name", "value"],
+            [("alpha", 1.2345), ("beta", 2.0)],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.23" in text  # default float format
+        assert "alpha" in text
+
+    def test_column_width_adapts(self):
+        text = format_table(["h"], [("a-very-long-cell",)])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(row)
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_custom_float_format(self):
+        text = format_table(["x"], [(3.14159,)], float_fmt="{:.4f}")
+        assert "3.1416" in text
+
+
+class TestComparison:
+    def test_ratio(self):
+        row = ComparisonRow("wasted", paper=40.93, measured=35.88)
+        assert row.ratio == pytest.approx(35.88 / 40.93)
+
+    def test_zero_paper_value(self):
+        assert ComparisonRow("x", 0.0, 0.0).ratio == 1.0
+        assert ComparisonRow("x", 0.0, 1.0).ratio == float("inf")
+
+    def test_format_comparison(self):
+        text = format_comparison(
+            [ComparisonRow("wasted", 40.93, 35.88)], title="Table 1"
+        )
+        assert "Table 1" in text
+        assert "measured/paper" in text
+        assert "0.88x" in text

@@ -1,0 +1,49 @@
+"""Sweep utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import sweep_knob, sweep_scenarios
+from repro.models.battery import BatterySpec
+from repro.scenarios.paper import PaperScenario
+
+
+class TestSweepScenarios:
+    def test_grid_shape(self, sc1, sc2, frontier):
+        cells = sweep_scenarios([sc1, sc2], frontier)
+        assert len(cells) == 4
+        assert {(c.scenario, c.policy) for c in cells} == {
+            ("scenario1", "proposed"),
+            ("scenario1", "static"),
+            ("scenario2", "proposed"),
+            ("scenario2", "static"),
+        }
+
+    def test_row_flattening(self, sc1, frontier):
+        cell = sweep_scenarios([sc1], frontier, policies=("static",))[0]
+        row = cell.row()
+        assert row[0] == "scenario1" and row[1] == "static"
+        assert len(row) == 6
+
+    def test_unknown_policy_rejected(self, sc1, frontier):
+        with pytest.raises(ValueError, match="unknown policy"):
+            sweep_scenarios([sc1], frontier, policies=("oracle",))
+
+
+class TestSweepKnob:
+    def test_battery_capacity_knob(self, sc1, frontier):
+        def with_capacity(sc: PaperScenario, factor: float) -> PaperScenario:
+            spec = BatterySpec(
+                c_max=sc.spec.c_max * factor,
+                c_min=sc.spec.c_min,
+                initial=sc.spec.c_min,
+            )
+            return PaperScenario(sc.name, sc.charging, sc.event_demand, spec)
+
+        cells = sweep_knob(sc1, frontier, [1.0, 2.0], with_capacity)
+        assert len(cells) == 4
+        assert {c.knob for c in cells} == {1.0, 2.0}
+        # bigger battery ⇒ static wastes no more
+        static = {c.knob: c.result.wasted for c in cells if c.policy == "static"}
+        assert static[2.0] <= static[1.0] + 1e-9

@@ -1,0 +1,143 @@
+"""Table generators (paper Tables 1–5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import (
+    PAPER_TABLE1_J,
+    allocation_table,
+    runtime_table,
+    table1,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1()
+
+    def test_four_rows(self, result):
+        assert len(result.rows) == 4
+
+    def test_paper_values_embedded(self, result):
+        row = result.row("scenario1", "static")
+        assert (row.paper_wasted, row.paper_undersupplied) == PAPER_TABLE1_J[
+            ("scenario1", "static")
+        ]
+
+    def test_shape_matches_paper(self, result):
+        """Proposed beats static on both metrics in both scenarios."""
+        for scenario in ("scenario1", "scenario2"):
+            proposed = result.row(scenario, "proposed")
+            static = result.row(scenario, "static")
+            assert proposed.wasted < static.wasted
+            assert proposed.undersupplied < static.undersupplied
+
+    def test_static_reproduces_paper_numbers(self, result):
+        for scenario in ("scenario1", "scenario2"):
+            row = result.row(scenario, "static")
+            assert row.wasted == pytest.approx(row.paper_wasted, rel=0.20)
+            assert row.undersupplied == pytest.approx(
+                row.paper_undersupplied, rel=0.20
+            )
+
+    def test_text_rendering(self, result):
+        text = result.text()
+        assert "Table 1" in text
+        assert "scenario1" in text and "proposed" in text
+
+    def test_unknown_row_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row("scenario3", "proposed")
+
+
+class TestAllocationTables:
+    def test_table2_converges_like_paper(self, sc1):
+        t = allocation_table(sc1)
+        assert t.feasible
+        # the paper needs 5 iterations; ours must converge in a handful
+        assert 2 <= t.n_iterations <= 6
+
+    def test_table2_iteration1_matches_paper_row(self, sc1):
+        t = allocation_table(sc1)
+        paper_row1 = [1.89, 1.21, 0.32, 0.32, 1.21, 2.03,
+                      1.90, 1.21, 0.32, 0.32, 1.21, 2.03]
+        np.testing.assert_allclose(t.pinit_rows[0], paper_row1, atol=0.05)
+
+    def test_table2_final_integration_clamped(self, sc1):
+        t = allocation_table(sc1)
+        final = np.asarray(t.integration_rows[-1])
+        assert final.max() == pytest.approx(3.54, abs=0.02)
+        assert final.min() >= 0.098 - 0.01
+
+    def test_table4_scenario2(self, sc2):
+        t = allocation_table(sc2)
+        assert t.feasible
+        final = np.asarray(t.integration_rows[-1])
+        assert final.max() <= 3.54 + 0.02
+        assert final.min() >= 0.098 - 0.01
+
+    def test_text_rendering(self, sc1):
+        text = allocation_table(sc1).text()
+        assert "Table 2" in text
+        assert "Integration" in text
+
+
+class TestRuntimeTables:
+    def test_table3_two_periods(self, sc1):
+        t = runtime_table(sc1, n_periods=2)
+        assert len(t.rows) == 24
+        assert t.rows[-1].time == pytest.approx(23 * 4.8)
+
+    def test_used_power_is_quantized(self, sc1, frontier):
+        t = runtime_table(sc1, n_periods=1, frontier=frontier)
+        levels = {round(p.power, 6) for p in frontier.points}
+        for row in t.rows:
+            assert round(row.used_power, 6) in levels
+
+    def test_supplied_follows_schedule(self, sc1):
+        t = runtime_table(sc1, n_periods=2)
+        supplied = [r.supplied_power for r in t.rows[:12]]
+        np.testing.assert_allclose(supplied, sc1.charging.values)
+
+    def test_battery_stays_legal(self, sc2):
+        t = runtime_table(sc2, n_periods=2)
+        for row in t.rows:
+            assert sc2.spec.c_min - 1e-9 <= row.battery_level <= sc2.spec.c_max + 1e-9
+
+    def test_window_updates_each_step(self, sc1):
+        t = runtime_table(sc1, n_periods=1)
+        assert len(t.rows[0].window) == 12
+        # windows change as deviations are folded back
+        assert t.rows[0].window != t.rows[5].window
+
+    def test_supply_perturbation_changes_allocation(self, sc1):
+        nominal = runtime_table(sc1, n_periods=2)
+        starved = runtime_table(sc1, n_periods=2, supply_factor=0.7)
+        nominal_alloc = sum(r.pinit for r in nominal.rows[12:])
+        starved_alloc = sum(r.pinit for r in starved.rows[12:])
+        assert starved_alloc < nominal_alloc
+
+    def test_text_rendering(self, sc2):
+        text = runtime_table(sc2, n_periods=1).text()
+        assert "Table 5" in text
+        assert "Pinit(11)" in text
+
+
+class TestExpectedSupplyColumn:
+    def test_expected_equals_supplied_in_nominal_runs(self, sc1):
+        t = runtime_table(sc1, n_periods=1)
+        for row in t.rows:
+            assert row.expected_supply == row.supplied_power
+
+    def test_perturbed_runs_show_the_deviation(self, sc1):
+        t = runtime_table(sc1, n_periods=1, supply_factor=0.8)
+        sunlit = [r for r in t.rows if r.expected_supply > 0]
+        assert sunlit
+        for row in sunlit:
+            assert row.supplied_power == pytest.approx(0.8 * row.expected_supply)
+
+    def test_rendered_header_includes_expected(self, sc1):
+        assert "Expected" in runtime_table(sc1, n_periods=1).text()

@@ -1,0 +1,127 @@
+"""Baseline policies: static, timeout, always-on, oracle."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.always_on import AlwaysOnPolicy
+from repro.baselines.oracle import OraclePolicy
+from repro.baselines.static import StaticPolicy
+from repro.baselines.timeout import TimeoutPolicy
+from repro.core.surplus import battery_trajectory, check_trajectory
+from repro.sim.system import SlotState
+from repro.util.schedule import Schedule
+
+
+def state(backlog: float = 0.0, arrivals: float = 0.0) -> SlotState:
+    return SlotState(
+        slot=0,
+        time=0.0,
+        battery_level=5.0,
+        backlog=backlog,
+        expected_charging=1.0,
+        expected_arrivals=arrivals,
+    )
+
+
+class TestStatic:
+    def test_parks_when_idle(self, frontier):
+        policy = StaticPolicy(frontier)
+        assert policy.decide(state()) == frontier.points[0]
+
+    def test_full_speed_with_work(self, frontier):
+        policy = StaticPolicy(frontier)
+        assert policy.decide(state(arrivals=1.0)) == frontier.max_perf_point
+        assert policy.decide(state(backlog=2.0)) == frontier.max_perf_point
+
+    def test_no_plan(self, frontier):
+        assert math.isnan(StaticPolicy(frontier).allocated_power())
+
+
+class TestTimeout:
+    def test_immediate_timeout_acts_like_static(self, frontier):
+        policy = TimeoutPolicy(frontier, timeout_slots=0)
+        policy.reset()
+        assert policy.decide(state()) == frontier.points[0]
+
+    def test_stays_awake_through_grace_period(self, frontier):
+        policy = TimeoutPolicy(frontier, timeout_slots=2)
+        policy.reset()
+        # busy, then idle for two slots: still awake
+        assert policy.decide(state(arrivals=1.0)) == frontier.max_perf_point
+        assert policy.decide(state()) == frontier.max_perf_point
+        assert policy.decide(state()) == frontier.max_perf_point
+        # third idle slot: parked
+        assert policy.decide(state()) == frontier.points[0]
+
+    def test_work_resets_the_clock(self, frontier):
+        policy = TimeoutPolicy(frontier, timeout_slots=1)
+        policy.reset()
+        policy.decide(state())
+        policy.decide(state(arrivals=1.0))  # resets idle count
+        assert policy.decide(state()) == frontier.max_perf_point
+
+    def test_negative_timeout_rejected(self, frontier):
+        with pytest.raises(ValueError):
+            TimeoutPolicy(frontier, timeout_slots=-1)
+
+
+class TestAlwaysOn:
+    def test_always_max(self, frontier):
+        policy = AlwaysOnPolicy(frontier)
+        assert policy.decide(state()) == frontier.max_perf_point
+        assert policy.decide(state(backlog=10.0)) == frontier.max_perf_point
+
+
+class TestOracle:
+    def test_plan_is_feasible_on_true_trace(self, sc2, frontier):
+        n_periods = 2
+        charging = np.tile(sc2.charging.values, n_periods)
+        demand = np.tile(sc2.event_demand.values, n_periods)
+        oracle = OraclePolicy(sc2.grid, charging, demand, sc2.spec, frontier)
+        # replay the plan against the battery trajectory period by period
+        level = sc2.spec.initial
+        n = sc2.grid.n_slots
+        for start in range(0, charging.size, n):
+            c = Schedule(sc2.grid, charging[start : start + n])
+            u = Schedule(sc2.grid, oracle._plan[start : start + n])
+            traj = battery_trajectory(c, u, level)
+            assert check_trajectory(
+                traj, sc2.spec.c_min, sc2.spec.c_max, tol=1e-6
+            ).feasible
+            level = traj[-1]
+
+    def test_decisions_follow_plan(self, sc1, frontier):
+        charging = sc1.charging.values.copy()
+        demand = sc1.event_demand.values.copy()
+        oracle = OraclePolicy(sc1.grid, charging, demand, sc1.spec, frontier)
+        oracle.reset()
+        from repro.sim.system import SlotOutcome
+
+        for k in range(12):
+            point = oracle.decide(state())
+            assert point.power <= oracle.allocated_power() + 1e-9
+            oracle.observe(
+                SlotOutcome(k, 0, 0, 0, 0, 0, 0, 0)
+            )
+
+    def test_trace_length_validation(self, sc1, frontier):
+        with pytest.raises(ValueError):
+            OraclePolicy(
+                sc1.grid,
+                np.zeros(10),
+                np.zeros(10),
+                sc1.spec,
+                frontier,
+            )
+        with pytest.raises(ValueError):
+            OraclePolicy(
+                sc1.grid,
+                np.zeros(12),
+                np.zeros(10),
+                sc1.spec,
+                frontier,
+            )

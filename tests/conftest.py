@@ -1,0 +1,72 @@
+"""Shared fixtures: the PAMA platform and paper scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.battery import BatterySpec
+from repro.models.performance import PerformanceModel
+from repro.models.power import PowerModel
+from repro.models.voltage import FixedVoltageVFMap, LinearVFMap
+from repro.scenarios.paper import (
+    pama_battery_spec,
+    pama_frontier,
+    pama_grid,
+    pama_performance_model,
+    pama_power_model,
+    scenario1,
+    scenario2,
+)
+from repro.util.schedule import Schedule
+from repro.util.timegrid import TimeGrid
+
+
+@pytest.fixture
+def grid() -> TimeGrid:
+    return pama_grid()
+
+
+@pytest.fixture
+def small_grid() -> TimeGrid:
+    return TimeGrid(period=10.0, tau=2.5)
+
+
+@pytest.fixture
+def power_model() -> PowerModel:
+    return pama_power_model(include_standby_floor=False)
+
+
+@pytest.fixture
+def perf_model() -> PerformanceModel:
+    return pama_performance_model()
+
+
+@pytest.fixture
+def battery_spec() -> BatterySpec:
+    return pama_battery_spec()
+
+
+@pytest.fixture
+def frontier():
+    return pama_frontier()
+
+
+@pytest.fixture
+def sc1():
+    return scenario1()
+
+
+@pytest.fixture
+def sc2():
+    return scenario2()
+
+
+@pytest.fixture
+def linear_vf() -> LinearVFMap:
+    # 0.6–1.8 V, 100 MHz per volt above a 0.3 V threshold
+    return LinearVFMap(v_min=0.6, v_max=1.8, slope=100e6, v_threshold=0.3)
+
+
+@pytest.fixture
+def fixed_vf() -> FixedVoltageVFMap:
+    return FixedVoltageVFMap(voltage=3.3, f_max=80e6)

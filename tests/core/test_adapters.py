@@ -1,0 +1,115 @@
+"""Extension-frontier adapters feeding the manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adapters import adapt_hetero_pool, adapt_perproc_frontier
+from repro.core.hetero import HeterogeneousPool, ProcessorClass
+from repro.core.manager import DynamicPowerManager
+from repro.core.perproc import build_perproc_frontier
+from repro.scenarios.paper import FREQUENCIES_HZ, MHZ
+
+
+@pytest.fixture
+def perproc_adapted(perf_model, power_model):
+    return adapt_perproc_frontier(
+        build_perproc_frontier(7, FREQUENCIES_HZ, perf_model, power_model)
+    )
+
+
+@pytest.fixture
+def hetero_adapted(perf_model, power_model):
+    pool = HeterogeneousPool(
+        [
+            ProcessorClass("pim", 4, tuple(FREQUENCIES_HZ), power_model),
+            ProcessorClass(
+                "dsp", 2, (40 * MHZ, 80 * MHZ), power_model, speed_factor=1.5
+            ),
+        ],
+        perf_model,
+    )
+    return adapt_hetero_pool(pool)
+
+
+class TestProjection:
+    def test_perproc_points_preserve_power_and_perf(
+        self, perproc_adapted, perf_model, power_model
+    ):
+        raw = build_perproc_frontier(7, FREQUENCIES_HZ, perf_model, power_model)
+        raw_best = max(p.perf for p in raw)
+        assert perproc_adapted.frontier.max_perf_point.perf == pytest.approx(raw_best)
+
+    def test_resolve_round_trip(self, perproc_adapted):
+        for op in perproc_adapted.frontier.points:
+            rich = perproc_adapted.resolve(op)
+            assert rich.power == op.power
+            assert rich.n_active == op.n
+            if op.n:
+                assert max(rich.freqs) == op.f
+
+    def test_resolve_foreign_point_rejected(self, perproc_adapted):
+        from repro.core.pareto import OperatingPoint
+
+        with pytest.raises(KeyError):
+            perproc_adapted.resolve(OperatingPoint(123.0, 456.0, 1, 1e6, 1.0))
+
+    def test_hetero_resolve(self, hetero_adapted):
+        top = hetero_adapted.frontier.max_perf_point
+        rich = hetero_adapted.resolve(top)
+        assert rich.n_active == top.n == 6
+
+    def test_empty_frontier_rejected(self):
+        with pytest.raises(ValueError):
+            adapt_perproc_frontier([])
+
+
+class TestManagerIntegration:
+    def test_manager_plans_on_perproc_frontier(self, sc1, perproc_adapted):
+        mgr = DynamicPowerManager(
+            sc1.charging,
+            sc1.event_demand,
+            frontier=perproc_adapted.frontier,
+            spec=sc1.spec,
+        )
+        allocation, schedule = mgr.plan()
+        assert allocation.feasible
+        mgr.start()
+        for _ in range(12):
+            step = mgr.advance()
+            # every decision resolves to a commandable assignment
+            rich = perproc_adapted.resolve(step.point)
+            assert rich.n_active == step.point.n
+
+    def test_manager_plans_on_hetero_pool(self, sc1, hetero_adapted):
+        mgr = DynamicPowerManager(
+            sc1.charging,
+            sc1.event_demand,
+            frontier=hetero_adapted.frontier,
+            spec=sc1.spec,
+        )
+        allocation, _ = mgr.plan()
+        assert allocation.feasible
+        mgr.start()
+        steps = mgr.run(12)
+        assert all(
+            sc1.spec.c_min - 1e-9 <= s.level <= sc1.spec.c_max + 1e-9
+            for s in steps
+        )
+
+    def test_perproc_frontier_beats_common_clock_in_plan(
+        self, sc1, perproc_adapted, frontier
+    ):
+        """Planning on the finer frontier yields at least the performance
+        of the common-clock plan for the same allocation."""
+        from repro.core.parameters import plan_parameters
+        from repro.core.allocation import allocate
+        from repro.core.wpuf import desired_usage
+
+        u_new = desired_usage(sc1.event_demand, sc1.weight(), sc1.charging)
+        alloc = allocate(
+            sc1.charging, u_new, sc1.spec, usage_ceiling=frontier.max_power
+        )
+        common = plan_parameters(alloc.usage, frontier)
+        finer = plan_parameters(alloc.usage, perproc_adapted.frontier)
+        assert finer.total_perf() >= common.total_perf() - 1e-6

@@ -1,0 +1,268 @@
+"""Algorithm 1: extrema, pruning, rescaling, and the allocation driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import (
+    Anchor,
+    adjust_power_schedule,
+    allocate,
+    cyclic_extrema,
+    greedy_feasible_allocation,
+    prune_anchors,
+    rescale_trajectory,
+    usage_from_trajectory,
+    violating_anchors,
+)
+from repro.core.surplus import battery_trajectory, check_trajectory
+from repro.core.wpuf import desired_usage
+from repro.models.battery import BatterySpec
+from repro.util.schedule import Schedule
+from repro.util.timegrid import TimeGrid
+
+
+class TestCyclicExtrema:
+    def test_simple_hill(self):
+        ext = cyclic_extrema(np.array([0.0, 1.0, 2.0, 1.0]))
+        assert (2, "max") in ext
+        # the cyclic minimum sits at index 0
+        assert (0, "min") in ext
+
+    def test_constant_has_no_extrema(self):
+        assert cyclic_extrema(np.full(6, 3.0)) == []
+
+    def test_plateau_reports_turning_boundary(self):
+        ext = cyclic_extrema(np.array([0.0, 2.0, 2.0, 0.0]))
+        kinds = dict((k, i) for i, k in ext)
+        assert kinds["max"] == 2  # last boundary of the flat top
+
+    def test_alternation(self):
+        levels = np.array([0.0, 3.0, 0.5, 4.0, 1.0, 2.0])
+        ext = cyclic_extrema(levels)
+        kinds = [k for _, k in ext]
+        for a, b in zip(kinds, kinds[1:]):
+            assert a != b
+
+    def test_two_point_sequence(self):
+        ext = cyclic_extrema(np.array([0.0, 1.0]))
+        assert set(ext) == {(1, "max"), (0, "min")}
+
+
+class TestViolatingAnchors:
+    def test_only_out_of_window_extrema(self):
+        levels = np.array([0.5, 5.0, 0.5, 2.0])
+        anchors = violating_anchors(levels, c_min=0.0, c_max=4.0)
+        assert [a.kind for a in anchors] == ["high"]
+        assert anchors[0].index == 1
+
+    def test_low_violations(self):
+        levels = np.array([2.0, -1.0, 2.0, 3.0])
+        anchors = violating_anchors(levels, c_min=0.0, c_max=4.0)
+        assert [a.kind for a in anchors] == ["low"]
+
+
+class TestPruning:
+    def test_keeps_worse_of_consecutive_highs(self):
+        anchors = [Anchor(1, 5.0, "high"), Anchor(3, 7.0, "high")]
+        pruned = prune_anchors(anchors)
+        assert len(pruned) == 1 and pruned[0].level == 7.0
+
+    def test_keeps_worse_of_consecutive_lows(self):
+        anchors = [Anchor(1, -2.0, "low"), Anchor(3, -5.0, "low")]
+        pruned = prune_anchors(anchors)
+        assert len(pruned) == 1 and pruned[0].level == -5.0
+
+    def test_alternating_untouched(self):
+        anchors = [Anchor(1, 5.0, "high"), Anchor(3, -1.0, "low")]
+        assert prune_anchors(anchors) == anchors
+
+    def test_cyclic_wraparound_pruning(self):
+        # high at each end of the index range are cyclically consecutive
+        anchors = [Anchor(0, 6.0, "high"), Anchor(2, -1.0, "low"), Anchor(5, 5.0, "high")]
+        pruned = prune_anchors(anchors)
+        kinds = [a.kind for a in pruned]
+        assert kinds.count("high") == 1
+        assert pruned[[a.kind for a in pruned].index("high")].level == 6.0
+
+
+class TestRescale:
+    def test_anchors_land_on_targets(self):
+        levels = np.array([0.0, 6.0, 3.0, -2.0])
+        anchors = [Anchor(1, 6.0, "high"), Anchor(3, -2.0, "low")]
+        out = rescale_trajectory(levels, anchors, c_min=0.0, c_max=4.0)
+        assert out[1] == pytest.approx(4.0)
+        assert out[3] == pytest.approx(0.0)
+
+    def test_no_anchors_is_identity(self):
+        levels = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(
+            rescale_trajectory(levels, [], 0.0, 4.0), levels
+        )
+
+    def test_single_anchor_completed_with_global_opposite(self):
+        levels = np.array([1.0, 8.0, 2.0, 0.5])
+        anchors = [Anchor(1, 8.0, "high")]
+        out = rescale_trajectory(levels, anchors, c_min=0.0, c_max=4.0)
+        assert out[1] == pytest.approx(4.0)
+        # global min (index 3) maps to itself (in bounds)
+        assert out[3] == pytest.approx(0.5)
+
+    def test_flat_between_anchors_interpolates_targets(self):
+        levels = np.array([5.0, 5.0, 5.0, -1.0])
+        anchors = [Anchor(2, 5.0, "high"), Anchor(3, -1.0, "low")]
+        out = rescale_trajectory(levels, anchors, c_min=0.0, c_max=4.0)
+        assert out[2] == pytest.approx(4.0)
+        assert out[3] == pytest.approx(0.0)
+
+
+class TestUsageFromTrajectory:
+    def test_inverse_of_trajectory(self, small_grid):
+        c = Schedule(small_grid, [2.0, 2.0, 0.0, 0.0])
+        u = Schedule(small_grid, [1.0, 0.5, 1.5, 1.0])
+        traj = battery_trajectory(c, u, initial=0.0)
+        recovered = usage_from_trajectory(c, traj[:-1])
+        assert recovered.allclose(u)
+
+    def test_floor_clips_negative_usage(self, small_grid):
+        c = Schedule.zeros(small_grid)
+        # rising trajectory with zero charging would need negative usage
+        levels = np.array([0.0, 1.0, 2.0, 3.0])
+        out = usage_from_trajectory(c, levels, floor=0.0)
+        assert np.all(out.values >= 0.0)
+
+    def test_length_validation(self, small_grid):
+        c = Schedule.zeros(small_grid)
+        with pytest.raises(ValueError):
+            usage_from_trajectory(c, np.zeros(3))
+
+
+class TestAdjustPass:
+    def test_feasible_input_returned_unchanged(self, small_grid):
+        spec = BatterySpec(c_max=100.0, c_min=0.0, initial=50.0)
+        c = Schedule(small_grid, [2.0, 2.0, 0.0, 0.0])
+        u = Schedule(small_grid, [1.0, 1.0, 1.0, 1.0])
+        out = adjust_power_schedule(c, u, spec)
+        assert out is u
+
+    def test_pass_reduces_overshoot_on_scenario1(self, sc1, frontier):
+        u_new = desired_usage(sc1.event_demand, sc1.weight(), sc1.charging)
+        before = check_trajectory(
+            battery_trajectory(sc1.charging, u_new, sc1.spec.initial),
+            sc1.spec.c_min,
+            sc1.spec.c_max,
+        )
+        adjusted = adjust_power_schedule(
+            sc1.charging, u_new, sc1.spec, usage_ceiling=frontier.max_power
+        )
+        after = check_trajectory(
+            battery_trajectory(sc1.charging, adjusted, sc1.spec.initial),
+            sc1.spec.c_min,
+            sc1.spec.c_max,
+        )
+        assert after.worst_overshoot < before.worst_overshoot
+
+
+class TestAllocate:
+    def test_scenario1_converges_without_fallback(self, sc1, frontier):
+        u_new = desired_usage(sc1.event_demand, sc1.weight(), sc1.charging)
+        result = allocate(
+            sc1.charging, u_new, sc1.spec, usage_ceiling=frontier.max_power
+        )
+        assert result.feasible
+        assert not result.used_fallback
+        assert result.n_iterations <= 5  # paper: five iterations
+
+    def test_scenario2_feasible(self, sc2, frontier):
+        u_new = desired_usage(sc2.event_demand, sc2.weight(), sc2.charging)
+        result = allocate(
+            sc2.charging, u_new, sc2.spec, usage_ceiling=frontier.max_power
+        )
+        assert result.feasible
+        check = check_trajectory(result.trajectory, sc2.spec.c_min, sc2.spec.c_max, tol=1e-6)
+        assert check.feasible
+
+    def test_clamp_levels_match_paper(self, sc1, frontier):
+        """The converged trajectory touches exactly the recovered battery
+        bounds: max = 3.54 W·τ, min = 0.098 W·τ (Tables 2/4 clamp levels)."""
+        u_new = desired_usage(sc1.event_demand, sc1.weight(), sc1.charging)
+        result = allocate(
+            sc1.charging, u_new, sc1.spec, usage_ceiling=frontier.max_power
+        )
+        tau = sc1.grid.tau
+        assert result.trajectory.max() / tau == pytest.approx(3.54, abs=0.01)
+        assert result.trajectory.min() / tau == pytest.approx(0.098, abs=0.01)
+
+    def test_iteration_history_recorded(self, sc1, frontier):
+        u_new = desired_usage(sc1.event_demand, sc1.weight(), sc1.charging)
+        result = allocate(
+            sc1.charging, u_new, sc1.spec, usage_ceiling=frontier.max_power
+        )
+        assert result.n_iterations == len(result.iterations)
+        assert not result.iterations[0].check.feasible
+        assert result.iterations[-1].check.feasible
+
+    def test_no_fallback_flagged_infeasible(self, sc2, frontier):
+        u_new = desired_usage(sc2.event_demand, sc2.weight(), sc2.charging)
+        result = allocate(
+            sc2.charging,
+            u_new,
+            sc2.spec,
+            usage_ceiling=frontier.max_power,
+            max_iterations=1,
+            fallback="none",
+        )
+        assert not result.feasible
+
+    def test_unknown_fallback_rejected(self, sc1):
+        u_new = desired_usage(sc1.event_demand, sc1.weight(), sc1.charging)
+        with pytest.raises(ValueError):
+            allocate(sc1.charging, u_new, sc1.spec, fallback="magic")
+
+    def test_already_feasible_plan_is_one_iteration(self, small_grid):
+        spec = BatterySpec(c_max=100.0, c_min=0.0, initial=50.0)
+        c = Schedule(small_grid, [1.0, 1.0, 1.0, 1.0])
+        u = Schedule(small_grid, [1.0, 1.0, 1.0, 1.0])
+        result = allocate(c, u, spec)
+        assert result.feasible and result.n_iterations == 1
+        assert result.usage.allclose(u)
+
+
+class TestGreedyFallback:
+    def test_feasible_on_scenario2(self, sc2, frontier):
+        u_new = desired_usage(sc2.event_demand, sc2.weight(), sc2.charging)
+        plan = greedy_feasible_allocation(
+            sc2.charging, u_new, sc2.spec, usage_ceiling=frontier.max_power
+        )
+        traj = battery_trajectory(sc2.charging, plan, sc2.spec.initial)
+        check = check_trajectory(traj, sc2.spec.c_min, sc2.spec.c_max, tol=1e-6)
+        assert check.feasible
+
+    def test_respects_usage_band(self, sc2, frontier):
+        u_new = desired_usage(sc2.event_demand, sc2.weight(), sc2.charging)
+        plan = greedy_feasible_allocation(
+            sc2.charging, u_new, sc2.spec, usage_floor=0.1, usage_ceiling=2.0
+        )
+        assert np.all(plan.values >= 0.1 - 1e-12)
+        assert np.all(plan.values <= 2.0 + 1e-12)
+
+    def test_unavoidable_waste_clamps_gracefully(self, small_grid):
+        """Charging beyond burn+store capacity cannot be feasible; the
+        waterfill must still return a sane plan at the ceiling."""
+        spec = BatterySpec(c_max=1.0, c_min=0.0, initial=0.0)
+        c = Schedule(small_grid, [10.0, 10.0, 0.0, 0.0])
+        u = Schedule(small_grid, [1.0, 1.0, 1.0, 1.0])
+        plan = greedy_feasible_allocation(
+            c, u, spec, usage_ceiling=2.0
+        )
+        assert np.all(plan.values <= 2.0 + 1e-12)
+        # the plan burns at the ceiling during the flood
+        assert plan.values[0] == pytest.approx(2.0)
+
+    def test_feasible_input_kept_close(self, small_grid):
+        spec = BatterySpec(c_max=100.0, c_min=0.0, initial=50.0)
+        c = Schedule(small_grid, [1.0, 1.0, 1.0, 1.0])
+        u = Schedule(small_grid, [0.5, 1.5, 0.5, 1.5])
+        plan = greedy_feasible_allocation(c, u, spec)
+        assert plan.allclose(u)

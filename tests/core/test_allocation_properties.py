@@ -1,0 +1,154 @@
+"""Property-based tests for Algorithm 1 and the repair waterfill.
+
+Random scenarios are constructed so feasibility is always *possible*
+(usage ceiling ≥ peak charging, so overflow can always be burned; floor
+0, so underflow can always be saved) — on that domain the allocator must
+always return a feasible, bounded, non-negative plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import (
+    allocate,
+    cyclic_extrema,
+    greedy_feasible_allocation,
+    prune_anchors,
+    rescale_trajectory,
+    usage_from_trajectory,
+    violating_anchors,
+)
+from repro.core.surplus import battery_trajectory, check_trajectory
+from repro.core.wpuf import normalize_to_supply
+from repro.models.battery import BatterySpec
+from repro.util.schedule import Schedule
+from repro.util.timegrid import TimeGrid
+
+N_SLOTS = 8
+CEILING = 6.0
+
+power_values = st.lists(
+    st.floats(min_value=0.0, max_value=4.0),
+    min_size=N_SLOTS,
+    max_size=N_SLOTS,
+)
+
+
+def mk_schedule(values):
+    return Schedule(TimeGrid(float(N_SLOTS), 1.0), values)
+
+
+scenario = st.tuples(
+    power_values.filter(lambda v: sum(v) > 0.5),  # charging
+    power_values.filter(lambda v: sum(v) > 0.5),  # demand shape
+    st.floats(min_value=2.0, max_value=12.0),  # usable battery window
+    st.floats(min_value=0.0, max_value=1.0),  # initial position
+)
+
+
+@given(scenario)
+@settings(max_examples=60, deadline=None)
+def test_greedy_repair_always_feasible(params):
+    charging_v, demand_v, window, pos = params
+    charging = mk_schedule(charging_v)
+    demand = normalize_to_supply(mk_schedule(demand_v), charging)
+    spec = BatterySpec(c_max=window, c_min=0.0, initial=pos * window)
+    plan = greedy_feasible_allocation(
+        charging, demand, spec, usage_ceiling=CEILING
+    )
+    traj = battery_trajectory(charging, plan, spec.initial)
+    assert check_trajectory(traj, spec.c_min, spec.c_max, tol=1e-6).feasible
+    assert np.all(plan.values >= -1e-12)
+    assert np.all(plan.values <= CEILING + 1e-9)
+
+
+@given(scenario)
+@settings(max_examples=60, deadline=None)
+def test_allocate_driver_always_feasible(params):
+    charging_v, demand_v, window, pos = params
+    charging = mk_schedule(charging_v)
+    demand = normalize_to_supply(mk_schedule(demand_v), charging)
+    spec = BatterySpec(c_max=window, c_min=0.0, initial=pos * window)
+    result = allocate(charging, demand, spec, usage_ceiling=CEILING)
+    assert result.feasible
+    assert np.all(result.usage.values <= CEILING + 1e-9)
+
+
+@given(
+    power_values.filter(lambda v: sum(v) > 0.5),
+    power_values.filter(lambda v: sum(v) > 0.5),
+    st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_usage_trajectory_round_trip(charging_v, usage_v, initial):
+    """For *balanced* plans (the cyclic reconstruction assumes periodicity,
+    which Eq. 8 guarantees) usage → trajectory → usage is the identity."""
+    charging = mk_schedule(charging_v)
+    usage = normalize_to_supply(mk_schedule(usage_v), charging)
+    traj = battery_trajectory(charging, usage, initial)
+    recovered = usage_from_trajectory(charging, traj[:-1], floor=-1e9)
+    np.testing.assert_allclose(recovered.values, usage.values, atol=1e-9)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-10.0, max_value=10.0),
+        min_size=3,
+        max_size=16,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_extrema_alternate_and_cover(levels_list):
+    levels = np.asarray(levels_list)
+    ext = cyclic_extrema(levels)
+    kinds = [k for _, k in ext]
+    # strictly alternating around the cycle
+    for a, b in zip(kinds, kinds + kinds[:1]):
+        pass  # adjacency checked below including the wrap
+    for i in range(len(kinds)):
+        assert kinds[i] != kinds[(i + 1) % len(kinds)] or len(kinds) == 1
+    # the global max/min boundaries are always among the extrema indices
+    if ext:
+        indices = {i for i, _ in ext}
+        assert int(np.argmax(levels)) in indices or levels.max() == levels.min() or any(
+            levels[i] == levels.max() for i in indices
+        )
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-10.0, max_value=10.0),
+        min_size=3,
+        max_size=16,
+    ),
+    st.floats(min_value=0.5, max_value=4.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_rescale_lands_anchors_on_targets(levels_list, c_max):
+    levels = np.asarray(levels_list)
+    c_min = 0.0
+    anchors = prune_anchors(violating_anchors(levels, c_min, c_max))
+    out = rescale_trajectory(levels, anchors, c_min, c_max)
+    for a in anchors:
+        assert out[a.index] == pytest.approx(a.target(c_min, c_max), abs=1e-9)
+    assert out.shape == levels.shape
+
+
+@given(scenario)
+@settings(max_examples=40, deadline=None)
+def test_allocation_preserves_total_energy_roughly(params):
+    """The plan's total energy stays within the physically meaningful
+    band: it can never exceed supply + initial reserve, and it is positive
+    whenever the demand shape is."""
+    charging_v, demand_v, window, pos = params
+    charging = mk_schedule(charging_v)
+    demand = normalize_to_supply(mk_schedule(demand_v), charging)
+    spec = BatterySpec(c_max=window, c_min=0.0, initial=pos * window)
+    result = allocate(charging, demand, spec, usage_ceiling=CEILING)
+    total = result.usage.total_energy()
+    assert total <= charging.total_energy() + (spec.initial - spec.c_min) + 1e-6
+    assert total >= 0.0

@@ -1,0 +1,106 @@
+"""Heterogeneous processor pools (future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hetero import HeterogeneousPool, ProcessorClass
+from repro.core.pareto import OperatingFrontier
+from repro.scenarios.paper import FREQUENCIES_HZ, MHZ
+
+
+@pytest.fixture
+def pim_class(power_model) -> ProcessorClass:
+    return ProcessorClass(
+        name="pim",
+        count=3,
+        frequencies=tuple(FREQUENCIES_HZ),
+        power_model=power_model,
+    )
+
+
+@pytest.fixture
+def dsp_class(power_model) -> ProcessorClass:
+    # a DSP: 1.5× work per cycle, only two clock choices
+    return ProcessorClass(
+        name="dsp",
+        count=2,
+        frequencies=(40 * MHZ, 80 * MHZ),
+        power_model=power_model,
+        speed_factor=1.5,
+    )
+
+
+class TestProcessorClass:
+    def test_validation(self, power_model):
+        with pytest.raises(ValueError):
+            ProcessorClass("x", -1, (1e6,), power_model)
+        with pytest.raises(ValueError):
+            ProcessorClass("x", 1, (), power_model)
+        with pytest.raises(ValueError):
+            ProcessorClass("x", 1, (0.0,), power_model)
+        with pytest.raises(ValueError):
+            ProcessorClass("x", 1, (1e6,), power_model, speed_factor=0.0)
+
+
+class TestSingleClassPool:
+    def test_matches_homogeneous_frontier(self, pim_class, perf_model, power_model):
+        """A one-class pool reproduces the common-clock frontier."""
+        pool = HeterogeneousPool([pim_class], perf_model)
+        homo = OperatingFrontier.build(
+            3, FREQUENCIES_HZ, perf_model, power_model
+        )
+        for hp in homo.points:
+            best = pool.best_within_power(hp.power + 1e-12)
+            assert best.perf >= hp.perf - 1e-6
+
+    def test_empty_classes_rejected(self, perf_model):
+        with pytest.raises(ValueError):
+            HeterogeneousPool([], perf_model)
+
+    def test_duplicate_names_rejected(self, pim_class, perf_model):
+        with pytest.raises(ValueError):
+            HeterogeneousPool([pim_class, pim_class], perf_model)
+
+
+class TestMixedPool:
+    def test_frontier_nondominated_and_sorted(self, pim_class, dsp_class, perf_model):
+        pool = HeterogeneousPool([pim_class, dsp_class], perf_model)
+        frontier = pool.frontier
+        powers = [p.power for p in frontier]
+        perfs = [p.perf for p in frontier]
+        assert powers == sorted(powers)
+        assert all(b > a for a, b in zip(perfs, perfs[1:]))
+
+    def test_faster_class_preferred_at_equal_power(
+        self, pim_class, dsp_class, perf_model, power_model
+    ):
+        """At the same f·v² cost a DSP does 1.5× the work, so the pool
+        puts budget on DSPs before PIMs."""
+        pool = HeterogeneousPool([pim_class, dsp_class], perf_model)
+        one_proc_budget = power_model.active_power(80 * MHZ, 3.3) * 1.001
+        best = pool.best_within_power(one_proc_budget)
+        active = {name: n for name, n, _ in best.config if n > 0}
+        assert active == {"dsp": 1}
+
+    def test_max_power_uses_everything(self, pim_class, dsp_class, perf_model):
+        pool = HeterogeneousPool([pim_class, dsp_class], perf_model)
+        top = pool.best_within_power(pool.max_power)
+        assert top.n_active == 5  # 3 PIMs + 2 DSPs
+
+    def test_budget_below_floor_returns_cheapest(self, pim_class, dsp_class, perf_model):
+        pool = HeterogeneousPool([pim_class, dsp_class], perf_model)
+        assert pool.best_within_power(0.0).power == pool.min_power
+
+    def test_speed_factor_scales_perf(self, pim_class, perf_model, power_model):
+        fast = ProcessorClass(
+            "fast", 1, (80 * MHZ,), power_model, speed_factor=2.0
+        )
+        slow = ProcessorClass(
+            "slow", 1, (80 * MHZ,), power_model, speed_factor=1.0
+        )
+        fast_pool = HeterogeneousPool([fast], perf_model)
+        slow_pool = HeterogeneousPool([slow], perf_model)
+        assert fast_pool.frontier[-1].perf == pytest.approx(
+            2.0 * slow_pool.frontier[-1].perf, rel=1e-9
+        )

@@ -1,0 +1,76 @@
+"""Property-based tests for the Algorithm 2 planner (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import SwitchingOverheads, plan_parameters
+from repro.scenarios.paper import pama_frontier
+
+FRONTIER = pama_frontier()
+
+budgets = st.lists(
+    st.floats(min_value=0.0, max_value=3.0),
+    min_size=2,
+    max_size=24,
+)
+
+
+@given(budgets)
+@settings(max_examples=60, deadline=None)
+def test_total_draw_never_exceeds_total_allocation(values):
+    """The quantization carry conserves energy: drawn ≤ allocated overall
+    (the carry can defer budget, never invent it)."""
+    alloc = np.asarray(values)
+    sched = plan_parameters(alloc.copy(), FRONTIER, tau=4.8)
+    assert sched.total_energy() <= alloc.sum() * 4.8 + 1e-6
+
+
+@given(budgets)
+@settings(max_examples=60, deadline=None)
+def test_every_pick_is_on_the_frontier(values):
+    sched = plan_parameters(np.asarray(values), FRONTIER, tau=4.8)
+    levels = {round(p.power, 9) for p in FRONTIER.points}
+    for d in sched.decisions:
+        assert round(d.point.power, 9) in levels
+
+
+@given(budgets)
+@settings(max_examples=40, deadline=None)
+def test_zero_budget_parks(values):
+    """An all-zero allocation draws exactly the parked floor."""
+    sched = plan_parameters(np.zeros(len(values)), FRONTIER, tau=4.8)
+    assert all(d.point.n == 0 for d in sched.decisions)
+
+
+@given(budgets)
+@settings(max_examples=40, deadline=None)
+def test_prohibitive_overheads_freeze_the_plan(values):
+    """With a switching cost no performance gain can amortize, the plan
+    never leaves the parked point (parked is always affordable, so no
+    downswitch is ever forced).  Note moderate overheads may *increase*
+    switching — the overhead energy eats the budget and can force
+    downswitches — so only the prohibitive limit is a clean invariant."""
+    gated = plan_parameters(
+        np.asarray(values),
+        FRONTIER,
+        tau=4.8,
+        overheads=SwitchingOverheads(
+            per_processor_change=1e15, per_frequency_change=1e15
+        ),
+    )
+    assert gated.switch_count() == 0
+    assert all(d.point.n == 0 for d in gated.decisions)
+
+
+@given(budgets)
+@settings(max_examples=40, deadline=None)
+def test_scaling_budget_up_never_loses_perf(values):
+    """Pointwise-larger allocations deliver at least as much performance."""
+    alloc = np.asarray(values)
+    base = plan_parameters(alloc.copy(), FRONTIER, tau=4.8)
+    richer = plan_parameters(alloc * 2.0, FRONTIER, tau=4.8)
+    assert richer.total_perf() >= base.total_perf() - 1e-6

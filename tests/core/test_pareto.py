@@ -1,0 +1,162 @@
+"""Discrete operating points and Pareto pruning (Algorithm 2 lines 1–5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pareto import (
+    OperatingFrontier,
+    OperatingPoint,
+    build_operating_points,
+    pareto_prune,
+)
+from repro.scenarios.paper import (
+    FREQUENCIES_HZ,
+    MHZ,
+    N_WORKERS,
+    POWER_QUANTUM_W,
+    pama_performance_model,
+    pama_power_model,
+)
+
+
+class TestBuildTable:
+    def test_table_size(self, perf_model, power_model):
+        pts = build_operating_points(7, FREQUENCIES_HZ, perf_model, power_model)
+        # parked + 7 n-values × 3 frequencies
+        assert len(pts) == 1 + 7 * 3
+
+    def test_pama_powers_are_quanta(self, perf_model, power_model):
+        pts = build_operating_points(
+            7, FREQUENCIES_HZ, perf_model, power_model, count_standby=False
+        )
+        for p in pts:
+            if p.n:
+                quanta = p.power / POWER_QUANTUM_W
+                assert quanta == pytest.approx(p.n * p.f / (20 * MHZ), rel=1e-9)
+
+    def test_parked_point_present(self, perf_model, power_model):
+        pts = build_operating_points(3, FREQUENCIES_HZ, perf_model, power_model)
+        parked = [p for p in pts if p.n == 0]
+        assert len(parked) == 1 and parked[0].perf == 0.0
+
+    def test_rejects_bad_inputs(self, perf_model, power_model):
+        with pytest.raises(ValueError):
+            build_operating_points(0, FREQUENCIES_HZ, perf_model, power_model)
+        with pytest.raises(ValueError):
+            build_operating_points(3, [], perf_model, power_model)
+
+
+class TestDominance:
+    def test_dominates(self):
+        a = OperatingPoint(1.0, 5.0, 1, 1e6, 1.0)
+        b = OperatingPoint(2.0, 4.0, 2, 1e6, 1.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = OperatingPoint(1.0, 5.0, 1, 1e6, 1.0)
+        b = OperatingPoint(1.0, 5.0, 2, 2e6, 1.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestPrune:
+    def test_frontier_is_nondominated(self, perf_model, power_model):
+        pts = build_operating_points(7, FREQUENCIES_HZ, perf_model, power_model)
+        frontier = pareto_prune(pts)
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not a.dominates(b)
+
+    def test_frontier_sorted_strictly(self, perf_model, power_model):
+        pts = build_operating_points(7, FREQUENCIES_HZ, perf_model, power_model)
+        frontier = pareto_prune(pts)
+        powers = [p.power for p in frontier]
+        perfs = [p.perf for p in frontier]
+        assert powers == sorted(powers)
+        assert all(b > a for a, b in zip(perfs, perfs[1:]))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=10),
+                st.floats(min_value=0, max_value=10),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_prune_property_random_points(self, raw):
+        pts = [OperatingPoint(p, q, 1, 1e6, 1.0) for p, q in raw]
+        frontier = pareto_prune(pts)
+        # every input point is dominated-or-equalled by some frontier point
+        for x in pts:
+            assert any(
+                f.power <= x.power + 1e-12 and f.perf >= x.perf - 1e-12
+                for f in frontier
+            )
+        # frontier members are mutually non-dominated
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not a.dominates(b)
+
+
+class TestFrontier:
+    def test_best_within_power_exact_budget(self, frontier):
+        p = frontier.points[3]
+        assert frontier.best_within_power(p.power) == p
+
+    def test_best_within_power_between_points(self, frontier):
+        lo, hi = frontier.points[2], frontier.points[3]
+        budget = (lo.power + hi.power) / 2
+        assert frontier.best_within_power(budget) == lo
+
+    def test_budget_below_minimum_returns_cheapest(self, frontier):
+        assert frontier.best_within_power(0.0) == frontier.points[0]
+
+    def test_huge_budget_returns_max(self, frontier):
+        assert frontier.best_within_power(1e9) == frontier.max_perf_point
+
+    def test_monotone_in_budget(self, frontier):
+        budgets = np.linspace(0, frontier.max_power * 1.2, 50)
+        perfs = [frontier.best_within_power(b).perf for b in budgets]
+        assert all(b >= a for a, b in zip(perfs, perfs[1:]))
+
+    def test_cheapest_with_perf(self, frontier):
+        target = frontier.points[4].perf
+        point = frontier.cheapest_with_perf(target)
+        assert point is not None and point.perf >= target
+        assert frontier.cheapest_with_perf(1e18) is None
+
+    def test_equal_power_prefers_high_frequency(self, perf_model, power_model):
+        """Eq. 14: below the voltage floor, frequency beats processors — of
+        the equal-power settings (1, 80 MHz), (2, 40 MHz), (4, 20 MHz) the
+        frontier keeps the single fast processor."""
+        from repro.core.pareto import build_operating_points, pareto_prune
+
+        pts = build_operating_points(
+            7, FREQUENCIES_HZ, perf_model, power_model, count_standby=False
+        )
+        frontier = pareto_prune(pts)
+        same_power = [p for p in pts if p.power == pytest.approx(4 * POWER_QUANTUM_W)]
+        assert len(same_power) == 3
+        survivors = [p for p in frontier if p.power == pytest.approx(4 * POWER_QUANTUM_W)]
+        assert len(survivors) == 1
+        assert survivors[0].n == 1 and survivors[0].f == 80 * MHZ
+
+    def test_empty_frontier_rejected(self):
+        with pytest.raises(ValueError):
+            OperatingFrontier([])
+
+    def test_build_convenience(self, perf_model, power_model):
+        f = OperatingFrontier.build(
+            N_WORKERS, FREQUENCIES_HZ, perf_model, power_model
+        )
+        assert f.min_power <= f.max_power
+        assert len(f) >= 2

@@ -1,0 +1,122 @@
+"""Per-processor frequency assignment (future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.perproc import (
+    assignment_perf,
+    assignment_power,
+    best_assignment_within_power,
+    build_perproc_frontier,
+    greedy_perproc_frontier,
+)
+from repro.scenarios.paper import FREQUENCIES_HZ, MHZ, POWER_QUANTUM_W
+
+
+class TestAssignmentModels:
+    def test_uniform_assignment_matches_homogeneous_perf(self, perf_model):
+        """All processors at the same clock reproduces Eq. 3 exactly."""
+        for n in (1, 3, 7):
+            for f in FREQUENCIES_HZ:
+                uniform = assignment_perf([f] * n, perf_model)
+                assert uniform == pytest.approx(perf_model.perf(n, f), rel=1e-9)
+
+    def test_uniform_assignment_matches_homogeneous_power(
+        self, perf_model, power_model
+    ):
+        freqs = [80 * MHZ] * 4
+        expected = power_model.system_power(4, 80 * MHZ, 3.3)
+        assert assignment_power(freqs, power_model, perf_model) == pytest.approx(
+            expected
+        )
+
+    def test_empty_assignment_is_parked(self, perf_model, power_model):
+        assert assignment_perf([0.0, 0.0], perf_model) == 0.0
+        assert assignment_power([0.0, 0.0], power_model, perf_model) == pytest.approx(
+            2 * power_model.standby_power
+        )
+
+    def test_mixed_assignment_between_uniform_bounds(self, perf_model):
+        mixed = assignment_perf([80 * MHZ, 20 * MHZ], perf_model)
+        slow = assignment_perf([20 * MHZ, 20 * MHZ], perf_model)
+        fast = assignment_perf([80 * MHZ, 80 * MHZ], perf_model)
+        assert slow < mixed < fast
+
+    def test_serial_stage_runs_on_fastest(self, perf_model):
+        """Adding a slow helper cannot hurt: the serial head stays on the
+        fast processor and the helper only adds parallel capacity."""
+        alone = assignment_perf([80 * MHZ], perf_model)
+        helped = assignment_perf([80 * MHZ, 20 * MHZ], perf_model)
+        assert helped > alone
+
+    def test_n_total_adds_standby(self, perf_model, power_model):
+        with_park = assignment_power(
+            [80 * MHZ], power_model, perf_model, n_total=7
+        )
+        bare = assignment_power([80 * MHZ], power_model, perf_model)
+        assert with_park == pytest.approx(bare + 6 * power_model.standby_power)
+
+
+class TestFrontiers:
+    def test_exhaustive_frontier_nondominated(self, perf_model, power_model):
+        frontier = build_perproc_frontier(4, FREQUENCIES_HZ, perf_model, power_model)
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not a.dominates(b)
+
+    def test_frontier_sorted_by_power(self, perf_model, power_model):
+        frontier = build_perproc_frontier(4, FREQUENCIES_HZ, perf_model, power_model)
+        powers = [p.power for p in frontier]
+        assert powers == sorted(powers)
+
+    def test_perproc_dominates_common_clock(self, perf_model, power_model):
+        """The extension is the point: per-processor clocks reach perf
+        levels the common-clock frontier cannot at equal power."""
+        from repro.core.pareto import OperatingFrontier
+
+        common = OperatingFrontier.build(
+            4, FREQUENCIES_HZ, perf_model, power_model, count_standby=False
+        )
+        per = build_perproc_frontier(4, FREQUENCIES_HZ, perf_model, power_model)
+        # every common-clock point is matched-or-beaten at equal power
+        for c in common.points:
+            best = best_assignment_within_power(per, c.power + 1e-12)
+            assert best.perf >= c.perf - 1e-9
+        # and at least one budget is strictly improved
+        improved = any(
+            best_assignment_within_power(per, c.power + 1e-12).perf > c.perf + 1e-9
+            for c in common.points
+            if c.n > 0
+        )
+        assert improved
+
+    def test_greedy_close_to_exhaustive(self, perf_model, power_model):
+        """The greedy builder may skip interior points (documented), but on
+        the PAMA model it reaches the same endpoints and stays within 65%
+        of the exhaustive frontier at every budget."""
+        exhaustive = build_perproc_frontier(4, FREQUENCIES_HZ, perf_model, power_model)
+        greedy = greedy_perproc_frontier(4, FREQUENCIES_HZ, perf_model, power_model)
+        # same best point
+        assert greedy[-1].perf == pytest.approx(exhaustive[-1].perf, rel=1e-9)
+        assert greedy[-1].power == pytest.approx(exhaustive[-1].power, rel=1e-9)
+        # bounded regret at every exhaustive budget
+        for pt in exhaustive:
+            best = best_assignment_within_power(greedy, pt.power + 1e-12)
+            assert best.perf >= 0.65 * pt.perf - 1e-9
+        # every greedy point is on the exhaustive frontier (never dominated)
+        for gp in greedy:
+            match = best_assignment_within_power(exhaustive, gp.power + 1e-12)
+            assert match.perf >= gp.perf - 1e-9
+
+    def test_budget_lookup_below_floor(self, perf_model, power_model):
+        frontier = build_perproc_frontier(3, FREQUENCIES_HZ, perf_model, power_model)
+        cheapest = best_assignment_within_power(frontier, 0.0)
+        assert cheapest.power == min(p.power for p in frontier)
+
+    def test_invalid_inputs(self, perf_model, power_model):
+        with pytest.raises(ValueError):
+            build_perproc_frontier(0, FREQUENCIES_HZ, perf_model, power_model)
+        with pytest.raises(ValueError):
+            assignment_power([80 * MHZ], power_model, perf_model, n_total=0)

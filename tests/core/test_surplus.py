@@ -1,0 +1,84 @@
+"""Surplus function and battery trajectory (Eqs. 9–10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.surplus import (
+    battery_trajectory,
+    check_trajectory,
+    surplus,
+)
+from repro.util.schedule import Schedule
+from repro.util.timegrid import TimeGrid
+
+
+@pytest.fixture
+def g() -> TimeGrid:
+    return TimeGrid(period=8.0, tau=2.0)
+
+
+class TestSurplus:
+    def test_eq9_difference(self, g):
+        c = Schedule(g, [3, 3, 0, 0])
+        u = Schedule(g, [1, 2, 1, 2])
+        np.testing.assert_allclose(surplus(c, u).values, [2, 1, -1, -2])
+
+    def test_grid_mismatch_rejected(self, g):
+        c = Schedule(g, [1, 1, 1, 1])
+        u = Schedule(TimeGrid(8.0, 4.0), [1, 1])
+        with pytest.raises(ValueError):
+            surplus(c, u)
+
+
+class TestTrajectory:
+    def test_includes_start_point(self, g):
+        c = Schedule(g, [3, 3, 0, 0])
+        u = Schedule(g, [1, 2, 1, 2])
+        traj = battery_trajectory(c, u, initial=1.0)
+        # surplus [2,1,-1,-2] × τ=2 → cumulative [4,6,4,0] + initial
+        np.testing.assert_allclose(traj, [1.0, 5.0, 7.0, 5.0, 1.0])
+
+    def test_balanced_plan_returns_to_initial(self, sc1):
+        from repro.core.wpuf import desired_usage
+
+        u_new = desired_usage(sc1.event_demand, sc1.weight(), sc1.charging)
+        traj = battery_trajectory(sc1.charging, u_new, initial=2.0)
+        assert traj[-1] == pytest.approx(traj[0])
+
+    def test_paper_scenario1_shape(self, sc1):
+        """The raw trajectory of scenario I rises through the sunlit half
+        and falls back — the Table 2 iteration-1 'Integration' row."""
+        from repro.core.wpuf import desired_usage
+
+        u_new = desired_usage(sc1.event_demand, sc1.weight(), sc1.charging)
+        traj = battery_trajectory(sc1.charging, u_new, initial=0.0)
+        in_tau_units = traj[1:] / sc1.grid.tau
+        # paper row: 0.47 1.62 3.65 5.69 6.84 7.16 5.27 4.06 3.73 3.41 2.2 0.17
+        # (0.2 tolerance: the paper's printed row is rounded to 2 digits and
+        # not exactly energy-balanced, ours is balanced by construction)
+        paper = [0.47, 1.62, 3.65, 5.69, 6.84, 7.16, 5.27, 4.06, 3.73, 3.41, 2.2, 0.17]
+        np.testing.assert_allclose(in_tau_units, paper, atol=0.2)
+
+
+class TestCheck:
+    def test_feasible_window(self):
+        check = check_trajectory(np.array([1.0, 2.0, 3.0]), c_min=1.0, c_max=3.0)
+        assert check.feasible
+        assert check.worst_overshoot == 0.0
+        assert check.worst_undershoot == 0.0
+
+    def test_overshoot_and_undershoot_magnitudes(self):
+        check = check_trajectory(np.array([0.5, 4.0]), c_min=1.0, c_max=3.0)
+        assert not check.feasible
+        assert check.worst_undershoot == pytest.approx(0.5)
+        assert check.worst_overshoot == pytest.approx(1.0)
+        assert check.min_level == 0.5
+        assert check.max_level == 4.0
+
+    def test_tolerance(self):
+        check = check_trajectory(
+            np.array([1.0 - 1e-12, 3.0 + 1e-12]), c_min=1.0, c_max=3.0, tol=1e-9
+        )
+        assert check.feasible

@@ -1,0 +1,125 @@
+"""Algorithm 3: deviation redistribution and horizons."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.update import (
+    find_horizon,
+    planned_trajectory,
+    redistribute_deviation,
+)
+from repro.models.battery import BatterySpec
+
+
+@pytest.fixture
+def spec() -> BatterySpec:
+    return BatterySpec(c_max=10.0, c_min=1.0, initial=5.0)
+
+
+class TestPlannedTrajectory:
+    def test_cumsum_of_surplus(self):
+        pinit = np.array([1.0, 2.0, 1.0])
+        charging = np.array([2.0, 1.0, 1.0])
+        traj = planned_trajectory(pinit, charging, 5.0, tau=2.0)
+        np.testing.assert_allclose(traj, [7.0, 5.0, 5.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            planned_trajectory(np.zeros(2), np.zeros(3), 0.0, 1.0)
+
+
+class TestHorizon:
+    def test_surplus_horizon_stops_at_cmax(self, spec):
+        # charging 3 W vs plan 1 W: +2 W; from 5 J the 10 J cap is hit
+        # inside slot 3 (5+2·2τ=9 at end of slot 2, 11 at end of slot 3)
+        pinit = np.full(6, 1.0)
+        charging = np.full(6, 3.0)
+        h = find_horizon(pinit, charging, 5.0, 1.0, spec, "surplus")
+        assert h == 3
+
+    def test_deficit_horizon_stops_at_cmin(self, spec):
+        pinit = np.full(6, 3.0)
+        charging = np.full(6, 1.0)
+        h = find_horizon(pinit, charging, 5.0, 1.0, spec, "deficit")
+        assert h == 2
+
+    def test_no_hit_uses_whole_window(self, spec):
+        pinit = np.full(4, 1.0)
+        charging = np.full(4, 1.0)
+        assert find_horizon(pinit, charging, 5.0, 1.0, spec, "surplus") == 4
+
+    def test_direction_validated(self, spec):
+        with pytest.raises(ValueError):
+            find_horizon(np.ones(2), np.ones(2), 5.0, 1.0, spec, "sideways")
+
+
+class TestRedistribute:
+    def test_surplus_added_proportionally(self):
+        pinit = np.array([1.0, 2.0, 1.0])
+        result = redistribute_deviation(pinit, 4.0, tau=1.0)
+        # shares proportional to plan: 1, 2, 1 → +1, +2, +1 W
+        np.testing.assert_allclose(result.pinit, [2.0, 4.0, 2.0])
+        assert result.placed == pytest.approx(4.0)
+        assert result.residual == pytest.approx(0.0)
+
+    def test_deficit_removed_proportionally(self):
+        pinit = np.array([2.0, 4.0, 2.0])
+        result = redistribute_deviation(pinit, -4.0, tau=1.0)
+        np.testing.assert_allclose(result.pinit, [1.0, 2.0, 1.0])
+
+    def test_energy_conservation(self):
+        pinit = np.array([0.5, 1.5, 2.0, 0.1])
+        for e in (3.7, -1.2, 0.0):
+            result = redistribute_deviation(pinit, e, tau=2.0)
+            delta = (result.pinit - pinit).sum() * 2.0
+            assert delta == pytest.approx(result.placed, abs=1e-9)
+            assert result.placed + result.residual == pytest.approx(e, abs=1e-9)
+
+    def test_ceiling_caps_and_reoffers(self):
+        pinit = np.array([1.0, 1.0])
+        result = redistribute_deviation(pinit, 3.0, tau=1.0, ceiling=2.0)
+        np.testing.assert_allclose(result.pinit, [2.0, 2.0])
+        assert result.placed == pytest.approx(2.0)
+        assert result.residual == pytest.approx(1.0)
+
+    def test_floor_limits_reduction(self):
+        pinit = np.array([0.5, 0.5])
+        result = redistribute_deviation(pinit, -2.0, tau=1.0, floor=0.0)
+        np.testing.assert_allclose(result.pinit, [0.0, 0.0])
+        assert result.residual == pytest.approx(-1.0)
+
+    def test_horizon_restricts_spread(self, spec):
+        pinit = np.full(6, 1.0)
+        charging = np.full(6, 3.0)  # trajectory hits C_max at slot 3
+        result = redistribute_deviation(
+            pinit, 3.0, charging=charging, initial_level=5.0, spec=spec, tau=1.0
+        )
+        assert result.horizon == 3
+        # only the first 3 slots absorbed the surplus
+        assert np.all(result.pinit[3:] == 1.0)
+        assert np.all(result.pinit[:3] > 1.0)
+
+    def test_zero_deviation_is_identity(self):
+        pinit = np.array([1.0, 2.0])
+        result = redistribute_deviation(pinit, 0.0, tau=1.0)
+        np.testing.assert_array_equal(result.pinit, pinit)
+
+    def test_empty_window(self):
+        result = redistribute_deviation(np.array([]), 2.0, tau=1.0)
+        assert result.residual == 2.0
+
+    def test_all_zero_plan_spreads_evenly(self):
+        pinit = np.zeros(4)
+        result = redistribute_deviation(pinit, 4.0, tau=1.0)
+        np.testing.assert_allclose(result.pinit, [1.0, 1.0, 1.0, 1.0])
+
+    def test_input_not_mutated(self):
+        pinit = np.array([1.0, 1.0])
+        redistribute_deviation(pinit, 2.0, tau=1.0)
+        np.testing.assert_array_equal(pinit, [1.0, 1.0])
+
+    def test_invalid_ceiling_rejected(self):
+        with pytest.raises(ValueError):
+            redistribute_deviation(np.ones(2), 1.0, tau=1.0, floor=1.0, ceiling=0.5)

@@ -1,0 +1,145 @@
+"""PAMA board: commanding settings and accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.board import PamaBoard, default_pama_config
+from repro.hw.processor import ProcessorMode
+from repro.scenarios.paper import MHZ, pama_power_model
+
+
+@pytest.fixture
+def board() -> PamaBoard:
+    return PamaBoard(default_pama_config(pama_power_model()))
+
+
+class TestStructure:
+    def test_one_controller_seven_workers(self, board):
+        assert board.n_workers == 7
+        assert board.controller.proc_id == 0
+        assert len(board.workers) == 7
+
+    def test_controller_active_at_lowest_clock(self, board):
+        assert board.controller.is_active
+        assert board.controller.frequency == 20 * MHZ
+
+    def test_minimum_processors(self):
+        with pytest.raises(ValueError):
+            PamaBoard(default_pama_config(pama_power_model()), n_processors=1)
+
+    def test_controller_id_validated(self):
+        with pytest.raises(ValueError):
+            PamaBoard(
+                default_pama_config(pama_power_model()),
+                n_processors=4,
+                controller_id=4,
+            )
+
+
+class TestApplySetting:
+    def test_activates_requested_workers(self, board):
+        applied = board.apply_setting(3, 80 * MHZ)
+        assert board.active_workers() == 3
+        assert applied.n_active == 3
+        active = [w for w in board.workers if w.is_active]
+        assert all(w.frequency == 80 * MHZ for w in active)
+
+    def test_parks_the_rest(self, board):
+        board.apply_setting(5, 40 * MHZ)
+        board.apply_setting(2, 40 * MHZ)
+        assert board.active_workers() == 2
+        parked = [w for w in board.workers if not w.is_active]
+        assert all(w.mode is ProcessorMode.STANDBY for w in parked)
+
+    def test_commands_only_changed_workers(self, board):
+        first = board.apply_setting(3, 80 * MHZ)
+        assert first.command_messages == 3
+        second = board.apply_setting(3, 80 * MHZ)  # no change
+        assert second.command_messages == 0
+        third = board.apply_setting(4, 80 * MHZ)  # one more wakes
+        assert third.command_messages == 1
+
+    def test_frequency_change_counts_all_active(self, board):
+        board.apply_setting(3, 80 * MHZ)
+        retune = board.apply_setting(3, 20 * MHZ)
+        assert retune.command_messages == 3
+        assert retune.overhead_time_s > 0
+
+    def test_bounds_checked(self, board):
+        with pytest.raises(ValueError):
+            board.apply_setting(8, 80 * MHZ)
+        with pytest.raises(ValueError):
+            board.apply_setting(2, 33 * MHZ)
+
+    def test_zero_active_parks_everything(self, board):
+        board.apply_setting(7, 80 * MHZ)
+        board.apply_setting(0, 80 * MHZ)
+        assert board.active_workers() == 0
+
+
+class TestPowerAndTime:
+    def test_total_power_composition(self, board):
+        board.apply_setting(2, 80 * MHZ)
+        expected = (
+            board.controller.power
+            + 2 * 0.3932  # two workers flat out
+            + 5 * 0.0066  # five in stand-by
+        )
+        assert board.total_power() == pytest.approx(expected, rel=1e-3)
+
+    def test_run_for_advances_and_meters(self, board):
+        board.apply_setting(1, 20 * MHZ)
+        energy = board.run_for(4.8)
+        assert board.now == pytest.approx(4.8)
+        assert energy == pytest.approx(board.total_power() * 4.8, rel=1e-9)
+        assert board.total_energy() == pytest.approx(energy, rel=1e-9)
+        assert len(board.meter.samples) == 1
+
+    def test_ring_carries_the_commands(self, board):
+        board.apply_setting(4, 80 * MHZ)
+        assert len(board.ring.log) == 4
+        assert all(m.src == 0 for m in board.ring.log)
+
+
+class TestApplyAssignment:
+    def test_mixed_clocks(self, board):
+        applied = board.apply_assignment([80 * MHZ, 40 * MHZ, 20 * MHZ])
+        assert applied.n_active == 3
+        assert applied.frequency == 80 * MHZ
+        active = [w for w in board.workers if w.is_active]
+        assert sorted(w.frequency for w in active) == [20 * MHZ, 40 * MHZ, 80 * MHZ]
+
+    def test_short_list_parks_the_rest(self, board):
+        board.apply_assignment([80 * MHZ] * 7)
+        board.apply_assignment([80 * MHZ])
+        assert board.active_workers() == 1
+
+    def test_zero_entries_park(self, board):
+        applied = board.apply_assignment([80 * MHZ, 0.0, 40 * MHZ])
+        assert applied.n_active == 2
+
+    def test_too_long_assignment_rejected(self, board):
+        with pytest.raises(ValueError, match="board has 7"):
+            board.apply_assignment([20 * MHZ] * 8)
+
+    def test_invalid_frequency_rejected(self, board):
+        with pytest.raises(ValueError):
+            board.apply_assignment([33 * MHZ])
+
+    def test_power_matches_heterogeneous_model(self, board):
+        from repro.scenarios.paper import pama_performance_model
+        from repro.core.perproc import assignment_power
+
+        freqs = (80 * MHZ, 40 * MHZ, 20 * MHZ, 0.0, 0.0, 0.0, 0.0)
+        board.apply_assignment(list(freqs))
+        expected = assignment_power(
+            freqs, pama_power_model(), pama_performance_model()
+        )
+        workers_power = board.total_power(include_controller=False)
+        assert workers_power == pytest.approx(expected, rel=1e-6)
+
+    def test_idempotent_assignment_sends_nothing(self, board):
+        board.apply_assignment([40 * MHZ, 40 * MHZ])
+        again = board.apply_assignment([40 * MHZ, 40 * MHZ])
+        assert again.command_messages == 0

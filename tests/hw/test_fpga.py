@@ -1,0 +1,72 @@
+"""FPGA clock controller: the write → stand-by → wake protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.fpga import ClockController
+from repro.hw.processor import Processor, ProcessorConfig, ProcessorMode
+from repro.scenarios.paper import MHZ, pama_power_model
+
+
+@pytest.fixture
+def proc() -> Processor:
+    config = ProcessorConfig(
+        frequencies=(20 * MHZ, 40 * MHZ, 80 * MHZ),
+        voltage=3.3,
+        power_model=pama_power_model(),
+    )
+    p = Processor(0, config)
+    p.set_mode(ProcessorMode.ACTIVE)
+    return p
+
+
+class TestProtocol:
+    def test_change_updates_clock(self, proc):
+        ctl = ClockController()
+        ctl.change_frequency(proc, 80 * MHZ)
+        assert proc.frequency == 80 * MHZ
+        assert proc.mode is ProcessorMode.ACTIVE  # woken back up
+
+    def test_latency_includes_ten_wake_cycles(self, proc):
+        ctl = ClockController(write_latency_s=1e-6, wake_cycles=10)
+        record = ctl.change_frequency(proc, 80 * MHZ)
+        assert record.latency_s == pytest.approx(1e-6 + 10 / (80 * MHZ))
+
+    def test_noop_change_is_free(self, proc):
+        ctl = ClockController()
+        record = ctl.change_frequency(proc, proc.frequency)
+        assert record.latency_s == 0.0
+        assert record.energy_j == 0.0
+        assert ctl.changes == []  # not logged
+
+    def test_parked_processor_stays_parked(self):
+        config = ProcessorConfig(
+            frequencies=(20 * MHZ, 80 * MHZ),
+            voltage=3.3,
+            power_model=pama_power_model(),
+        )
+        p = Processor(1, config)  # standby
+        ctl = ClockController()
+        ctl.change_frequency(p, 80 * MHZ)
+        assert p.mode is ProcessorMode.STANDBY
+        assert p.frequency == 80 * MHZ
+
+    def test_energy_and_time_accumulate(self, proc):
+        ctl = ClockController()
+        ctl.change_frequency(proc, 80 * MHZ)
+        ctl.change_frequency(proc, 20 * MHZ)
+        assert len(ctl.changes) == 2
+        assert ctl.total_change_time > 0
+        assert ctl.total_change_energy > 0
+
+    def test_invalid_frequency_rejected(self, proc):
+        ctl = ClockController()
+        with pytest.raises(ValueError):
+            ctl.change_frequency(proc, 33 * MHZ)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClockController(write_latency_s=-1)
+        with pytest.raises(ValueError):
+            ClockController(wake_cycles=-1)

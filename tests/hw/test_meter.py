@@ -1,0 +1,59 @@
+"""Power meter: sampling and energy integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.meter import PowerMeter
+
+
+class TestSampling:
+    def test_trapezoidal_energy(self):
+        readings = iter([1.0, 3.0, 3.0])
+        meter = PowerMeter(lambda: next(readings))
+        meter.sample(0.0)
+        meter.sample(2.0)  # trapezoid (1+3)/2·2 = 4
+        meter.sample(4.0)  # (3+3)/2·2 = 6
+        assert meter.energy == pytest.approx(10.0)
+
+    def test_mean_power(self):
+        readings = iter([2.0, 2.0])
+        meter = PowerMeter(lambda: next(readings))
+        meter.sample(0.0)
+        meter.sample(5.0)
+        assert meter.mean_power() == pytest.approx(2.0)
+
+    def test_out_of_order_samples_rejected(self):
+        meter = PowerMeter(lambda: 1.0)
+        meter.sample(5.0)
+        with pytest.raises(ValueError):
+            meter.sample(4.0)
+
+    def test_reset(self):
+        meter = PowerMeter(lambda: 1.0)
+        meter.sample(0.0)
+        meter.sample(1.0)
+        meter.reset()
+        assert meter.energy == 0.0
+        assert meter.samples == ()
+
+
+class TestWindowEnergy:
+    def test_piecewise_constant_window(self):
+        readings = iter([1.0, 3.0, 0.0])
+        meter = PowerMeter(lambda: next(readings))
+        meter.sample(0.0)
+        meter.sample(2.0)
+        meter.sample(4.0)
+        # sample-and-hold: 1 W on [0,2), 3 W on [2,4)
+        assert meter.window_energy(0.0, 2.0) == pytest.approx(2.0)
+        assert meter.window_energy(1.0, 3.0) == pytest.approx(1.0 + 3.0)
+
+    def test_empty_meter_window(self):
+        meter = PowerMeter(lambda: 1.0)
+        assert meter.window_energy(0.0, 10.0) == 0.0
+
+    def test_inverted_window_rejected(self):
+        meter = PowerMeter(lambda: 1.0)
+        with pytest.raises(ValueError):
+            meter.window_energy(2.0, 1.0)

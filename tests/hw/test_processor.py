@@ -1,0 +1,118 @@
+"""M32R/D processor model: modes, clocks, energy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.processor import Processor, ProcessorConfig, ProcessorMode
+from repro.scenarios.paper import MHZ, pama_power_model
+
+
+@pytest.fixture
+def config() -> ProcessorConfig:
+    return ProcessorConfig(
+        frequencies=(20 * MHZ, 40 * MHZ, 80 * MHZ),
+        voltage=3.3,
+        power_model=pama_power_model(),
+        wake_latency_s=0.001,
+        mode_change_energy_j=0.0001,
+    )
+
+
+@pytest.fixture
+def proc(config) -> Processor:
+    return Processor(0, config)
+
+
+class TestConfig:
+    def test_frequency_validation(self, config):
+        assert config.validate_frequency(40 * MHZ) == 40 * MHZ
+        with pytest.raises(ValueError, match="not in the selectable set"):
+            config.validate_frequency(30 * MHZ)
+
+    def test_f_bounds(self, config):
+        assert config.f_min == 20 * MHZ
+        assert config.f_max == 80 * MHZ
+
+    def test_rejects_empty_or_nonpositive(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig((), 3.3, pama_power_model())
+        with pytest.raises(ValueError):
+            ProcessorConfig((0.0,), 3.3, pama_power_model())
+
+
+class TestModes:
+    def test_starts_in_standby(self, proc):
+        assert proc.mode is ProcessorMode.STANDBY
+        assert not proc.is_active
+
+    def test_standby_power(self, proc):
+        assert proc.power == pytest.approx(0.0066)
+
+    def test_active_power_tracks_frequency(self, proc):
+        proc.set_mode(ProcessorMode.ACTIVE)
+        proc.set_frequency(80 * MHZ)
+        assert proc.power == pytest.approx(0.3932, rel=1e-3)
+        proc.set_frequency(20 * MHZ)
+        assert proc.power == pytest.approx(0.0983, rel=1e-3)
+
+    def test_sleep_power(self, proc):
+        proc.set_mode(ProcessorMode.SLEEP)
+        assert proc.power == pytest.approx(0.393)
+
+    def test_wake_pays_latency(self, proc):
+        assert proc.set_mode(ProcessorMode.ACTIVE) == pytest.approx(0.001)
+
+    def test_parking_is_immediate(self, proc):
+        proc.set_mode(ProcessorMode.ACTIVE)
+        assert proc.set_mode(ProcessorMode.STANDBY) == 0.0
+
+    def test_same_mode_is_noop(self, proc):
+        before = proc.mode_changes
+        assert proc.set_mode(ProcessorMode.STANDBY) == 0.0
+        assert proc.mode_changes == before
+
+    def test_mode_change_energy_booked(self, proc):
+        e0 = proc.energy_consumed
+        proc.set_mode(ProcessorMode.ACTIVE)
+        assert proc.energy_consumed == pytest.approx(e0 + 0.0001)
+
+
+class TestExecution:
+    def test_run_for_books_energy(self, proc):
+        proc.set_mode(ProcessorMode.ACTIVE)
+        proc.set_frequency(80 * MHZ)
+        e0 = proc.energy_consumed
+        energy = proc.run_for(2.0)
+        assert energy == pytest.approx(proc.power * 2.0)
+        assert proc.energy_consumed == pytest.approx(e0 + energy)
+
+    def test_busy_cycles_accumulate(self, proc):
+        proc.set_mode(ProcessorMode.ACTIVE)
+        proc.set_frequency(40 * MHZ)
+        proc.run_for(1.0)
+        assert proc.busy_cycles == pytest.approx(40 * MHZ)
+        proc.run_for(1.0, busy_fraction=0.5)
+        assert proc.busy_cycles == pytest.approx(60 * MHZ)
+
+    def test_standby_accumulates_no_cycles(self, proc):
+        proc.run_for(5.0)
+        assert proc.busy_cycles == 0.0
+
+    def test_cycles_for(self, proc):
+        proc.set_mode(ProcessorMode.ACTIVE)
+        proc.set_frequency(20 * MHZ)
+        assert proc.cycles_for(96e6) == pytest.approx(4.8)  # the paper's FFT
+        proc.set_mode(ProcessorMode.STANDBY)
+        assert proc.cycles_for(96e6) == float("inf")
+
+    def test_busy_fraction_validated(self, proc):
+        with pytest.raises(ValueError):
+            proc.run_for(1.0, busy_fraction=1.5)
+
+    def test_frequency_change_latency(self, proc):
+        proc.set_mode(ProcessorMode.ACTIVE)
+        lat = proc.set_frequency(80 * MHZ)
+        assert lat == pytest.approx(10.0 / (20 * MHZ))
+        assert proc.frequency_changes == 1
+        assert proc.set_frequency(80 * MHZ) == 0.0  # no-op

@@ -1,0 +1,59 @@
+"""Unidirectional ring interconnect."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.ring import RingNetwork
+
+
+@pytest.fixture
+def ring() -> RingNetwork:
+    return RingNetwork(8, hop_latency_s=1e-6, bandwidth_bytes_per_s=1e6)
+
+
+class TestTopology:
+    def test_hops_are_unidirectional(self, ring):
+        assert ring.hops(0, 1) == 1
+        assert ring.hops(1, 0) == 7  # must go the long way round
+        assert ring.hops(3, 3) == 0
+
+    def test_route_visits_in_order(self, ring):
+        assert list(ring.route(6, 1)) == [7, 0, 1]
+
+    def test_node_bounds_checked(self, ring):
+        with pytest.raises(ValueError):
+            ring.hops(0, 8)
+        with pytest.raises(ValueError):
+            ring.hops(-1, 0)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            RingNetwork(1)
+
+
+class TestLatency:
+    def test_latency_scales_with_hops_and_size(self, ring):
+        base = ring.latency(0, 1, size_bytes=0)
+        assert ring.latency(0, 4, size_bytes=0) == pytest.approx(4 * base)
+        with_payload = ring.latency(0, 1, size_bytes=1000)
+        assert with_payload == pytest.approx(1e-6 + 1000 / 1e6)
+
+    def test_infinite_bandwidth_is_free_serialization(self):
+        ring = RingNetwork(4, hop_latency_s=2e-6)
+        assert ring.latency(0, 2, size_bytes=10**9) == pytest.approx(4e-6)
+
+    def test_broadcast_latency(self, ring):
+        assert ring.broadcast_latency(0, 0) == pytest.approx(7e-6)
+
+
+class TestMessaging:
+    def test_send_logs_and_timestamps(self, ring):
+        msg = ring.send(2, 5, size_bytes=4, now=10.0)
+        assert msg.hops == 3
+        assert msg.arrival_time == pytest.approx(10.0 + ring.latency(2, 5, 4))
+        assert ring.log == [msg]
+
+    def test_send_rejects_negative_time(self, ring):
+        with pytest.raises(ValueError):
+            ring.send(0, 1, 4, now=-1.0)

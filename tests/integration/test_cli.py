@@ -1,0 +1,58 @@
+"""CLI smoke tests (in-process, via main())."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "proposed" in out and "static" in out
+
+    @pytest.mark.parametrize("exp", ["table2", "table3", "table4", "table5"])
+    def test_tables(self, exp, capsys):
+        assert main([exp]) == 0
+        assert "Table" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("exp", ["fig3", "fig4"])
+    def test_figures_ascii(self, exp, capsys):
+        assert main([exp]) == 0
+        out = capsys.readouterr().out
+        assert "Charging schedule" in out
+        assert "legend" in out
+
+    def test_figure_csv(self, capsys):
+        assert main(["fig3", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("time,")
+
+    def test_all(self, capsys):
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        for token in ("Table 1", "Table 2", "Table 3", "Table 4", "Table 5"):
+            assert token in out
+
+    def test_periods_flag(self, capsys):
+        assert main(["table3", "--periods", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") < 30  # one period → 12 rows
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_invalid_periods_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--periods", "0"])
+
+    def test_library_sweep(self, capsys):
+        assert main(["library"]) == 0
+        out = capsys.readouterr().out
+        for name in ("eclipse-orbit", "commute-traffic", "burst-watch",
+                     "deep-discharge", "scenario1"):
+            assert name in out

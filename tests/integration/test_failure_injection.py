@@ -1,0 +1,147 @@
+"""Failure injection: losing workers and surviving supply blackouts.
+
+The paper's platform tolerates degraded operation (processors park
+independently); these tests inject the failures a flight system actually
+sees — a dead worker chip, a total supply blackout, a stuck-at-max load —
+and check the management stack degrades gracefully instead of
+catastrophically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.manager import DynamicPowerManager
+from repro.core.pareto import OperatingFrontier
+from repro.models.battery import Battery
+from repro.scenarios.paper import (
+    FREQUENCIES_HZ,
+    pama_frontier,
+    pama_performance_model,
+    pama_power_model,
+)
+
+
+def frontier_with_workers(n: int) -> OperatingFrontier:
+    return OperatingFrontier.build(
+        n,
+        FREQUENCIES_HZ,
+        pama_performance_model(),
+        pama_power_model(include_standby_floor=False),
+    )
+
+
+class TestWorkerLoss:
+    def test_replanning_on_reduced_pool_stays_feasible(self, sc1):
+        """Losing two of seven workers mid-mission: replan on the reduced
+        frontier from the current battery level and keep flying."""
+        full = DynamicPowerManager(
+            sc1.charging, sc1.event_demand, frontier=pama_frontier(), spec=sc1.spec
+        )
+        full.start()
+        battery = Battery(sc1.spec)
+        tau = sc1.grid.tau
+        for k in range(6):  # half a period before the failure
+            point = full.decide()
+            step = battery.step(sc1.charging[k], point.power, tau)
+            full.advance(used_power=step.drawn / tau)
+
+        degraded = DynamicPowerManager(
+            sc1.charging,
+            sc1.event_demand,
+            frontier=frontier_with_workers(5),
+            spec=sc1.spec,
+        )
+        degraded.plan()
+        degraded.start(level=battery.level, slot=6)
+        for k in range(6, 30):
+            point = degraded.decide()
+            step = battery.step(sc1.charging[k % 12], point.power, tau)
+            degraded.advance(used_power=step.drawn / tau)
+        # no brown-out through the transition and beyond
+        assert battery.total_undersupplied < 1.0
+        # and the reduced pool's ceiling is respected
+        assert max(
+            s.point.power for s in degraded.history
+        ) <= frontier_with_workers(5).max_power + 1e-9
+
+    def test_single_surviving_worker_still_plans(self, sc1):
+        tiny = frontier_with_workers(1)
+        mgr = DynamicPowerManager(
+            sc1.charging, sc1.event_demand, frontier=tiny, spec=sc1.spec
+        )
+        allocation, schedule = mgr.plan()
+        # one worker cannot absorb the sunlit surplus: the plan saturates
+        # at its ceiling and the rest genuinely overflows
+        assert allocation.usage.values.max() <= tiny.max_power + 1e-9
+        mgr.start()
+        steps = mgr.run(24)
+        assert all(
+            sc1.spec.c_min - 1e-9 <= s.level <= sc1.spec.c_max + 1e-9
+            for s in steps
+        )
+
+
+class TestSupplyBlackout:
+    def test_total_blackout_parks_gracefully(self, sc1, frontier):
+        """Supply dies entirely for a full period: the window collapses
+        toward the floor and the system rides out the blackout without the
+        plan diverging."""
+        mgr = DynamicPowerManager(
+            sc1.charging, sc1.event_demand, frontier=frontier, spec=sc1.spec
+        )
+        mgr.start()
+        battery = Battery(sc1.spec)
+        tau = sc1.grid.tau
+        for k in range(24):
+            point = mgr.decide()
+            supplied = 0.0 if 6 <= k < 18 else sc1.charging[k % 12]
+            step = battery.step(supplied, point.power, tau)
+            mgr.advance(used_power=step.drawn / tau, supplied_power=supplied)
+        # the reallocation shrinks the draw during the blackout
+        blackout_draw = sum(
+            s.used_power for s in mgr.history[8:18]
+        )
+        nominal_draw = sum(s.used_power for s in mgr.history[:6])
+        assert blackout_draw / 10 < nominal_draw / 6
+        # window never goes negative
+        assert np.all(mgr.window >= -1e-9)
+
+    def test_recovery_after_blackout(self, sc1, frontier):
+        """After supply returns the manager climbs back to the nominal
+        plan within a couple of periods."""
+        mgr = DynamicPowerManager(
+            sc1.charging, sc1.event_demand, frontier=frontier, spec=sc1.spec
+        )
+        mgr.start()
+        battery = Battery(sc1.spec)
+        tau = sc1.grid.tau
+        for k in range(60):
+            point = mgr.decide()
+            supplied = 0.0 if 12 <= k < 24 else sc1.charging[k % 12]
+            step = battery.step(supplied, point.power, tau)
+            mgr.advance(used_power=step.drawn / tau, supplied_power=supplied)
+        last_period = sum(s.used_power for s in mgr.history[48:])
+        nominal = mgr.base_usage.total_energy() / tau
+        assert last_period == pytest.approx(nominal, rel=0.25)
+
+
+class TestStuckLoad:
+    def test_runaway_draw_is_reconciled(self, sc1, frontier):
+        """A stuck-at-max load (software fault) overdraws the plan; the
+        manager keeps shaving the window instead of going negative."""
+        mgr = DynamicPowerManager(
+            sc1.charging, sc1.event_demand, frontier=frontier, spec=sc1.spec
+        )
+        mgr.start()
+        battery = Battery(sc1.spec)
+        tau = sc1.grid.tau
+        for k in range(24):
+            mgr.decide()
+            stuck = frontier.max_power  # ignores the commanded setting
+            step = battery.step(sc1.charging[k % 12], stuck, tau)
+            mgr.advance(used_power=step.drawn / tau)
+            assert np.all(mgr.window >= -1e-9)
+        # the battery floor limits the damage; the books still close
+        assert battery.level >= sc1.spec.c_min - 1e-9

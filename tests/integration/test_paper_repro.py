@@ -1,0 +1,112 @@
+"""Golden shape tests: the claims the reproduction must uphold.
+
+Each test pins one conclusion of the paper's Section 5 to our measured
+pipeline (see EXPERIMENTS.md for the full paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy import compare_policies
+from repro.analysis.metrics import reduction_factor
+from repro.analysis.tables import allocation_table, runtime_table, table1
+from repro.core.manager import DynamicPowerManager
+from repro.scenarios.paper import pama_frontier, paper_scenarios
+
+
+@pytest.fixture(scope="module")
+def frontier_m():
+    return pama_frontier()
+
+
+class TestHeadlineClaims:
+    def test_wasted_energy_reduced_by_large_factor(self, frontier_m):
+        """"The proposed algorithm reduces the wasted energy by more than a
+        factor of ten compared with the optimal time-out algorithm."  The
+        paper's own Table 1 shows 3.0× (scenario I) and 11.2× (scenario
+        II); we require at least 3× on both."""
+        for sc in paper_scenarios():
+            res = compare_policies(sc, frontier_m)
+            factor = reduction_factor(res["static"].wasted, res["proposed"].wasted)
+            assert factor > 3.0, sc.name
+
+    def test_undersupply_prevented(self, frontier_m):
+        """"it lowers the probability of the undersupplied situation" —
+        the planned policy's own demand is essentially always served."""
+        for sc in paper_scenarios():
+            res = compare_policies(sc, frontier_m)
+            assert res["proposed"].undersupplied < res["static"].undersupplied / 10
+
+    def test_energy_utilization_improves(self, frontier_m):
+        for sc in paper_scenarios():
+            res = compare_policies(sc, frontier_m)
+            assert res["proposed"].utilization > res["static"].utilization
+
+
+class TestAllocationConvergence:
+    def test_both_scenarios_converge_within_paper_budget(self):
+        """The paper reports feasibility after 5 iterations; our driver
+        must converge (possibly via the repair fallback) for both."""
+        for sc in paper_scenarios():
+            t = allocation_table(sc)
+            assert t.feasible, sc.name
+
+    def test_converged_trajectories_touch_paper_clamps(self):
+        """Both converged trajectories clamp at C_max = 3.54 W·τ (the
+        binding constraint in both scenarios) and stay above
+        C_min = 0.098 W·τ; scenario I also grazes the floor exactly as
+        the paper's Table 2 does."""
+        for sc in paper_scenarios():
+            final = np.asarray(allocation_table(sc).integration_rows[-1])
+            assert final.max() == pytest.approx(3.54, abs=0.02), sc.name
+            assert final.min() >= 0.098 - 0.02, sc.name
+        s1 = np.asarray(allocation_table(paper_scenarios()[0]).integration_rows[-1])
+        assert s1.min() == pytest.approx(0.098, abs=0.02)
+
+
+class TestRuntimeBehaviour:
+    def test_two_period_trace_stays_feasible(self):
+        for sc in paper_scenarios():
+            t = runtime_table(sc, n_periods=2)
+            for row in t.rows:
+                assert (
+                    sc.spec.c_min - 1e-9
+                    <= row.battery_level
+                    <= sc.spec.c_max + 1e-9
+                )
+
+    def test_reallocation_absorbs_systematic_supply_error(self, frontier_m):
+        """Section 4.3: with the actual supply 20% below forecast, the
+        run-time update shrinks the future allocation instead of letting
+        the battery crash into C_min undersupplied."""
+        from repro.analysis.energy import run_managed
+
+        for sc in paper_scenarios():
+            r = run_managed(sc, frontier_m, n_periods=3, supply_factor=0.8)
+            # battery-level undersupply stays small despite 20% less energy
+            assert r.undersupplied < 0.1 * r.supplied, sc.name
+
+    def test_steady_state_is_periodic(self, frontier_m):
+        """With no deviations the manager settles into a periodic pattern:
+        period 2 and period 3 of the run draw identical energy."""
+        sc = paper_scenarios()[0]
+        mgr = DynamicPowerManager(
+            sc.charging, sc.event_demand, frontier=frontier_m, spec=sc.spec
+        )
+        mgr.start()
+        steps = mgr.run(36)
+        p2 = sum(s.used_power for s in steps[12:24])
+        p3 = sum(s.used_power for s in steps[24:36])
+        assert p2 == pytest.approx(p3, rel=0.05)
+
+
+class TestTable1EndToEnd:
+    def test_full_table_generation(self):
+        result = table1()
+        text = result.text()
+        assert len(result.rows) == 4
+        # paper's numbers appear alongside ours for every row
+        for row in result.rows:
+            assert f"{row.paper_wasted:.2f}" in text

@@ -1,0 +1,65 @@
+"""Import surface: every advertised name exists and resolves.
+
+Guards the package against the most embarrassing regression — a broken
+``__init__`` export — and pins the advertised quickstart snippet.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.util",
+    "repro.models",
+    "repro.core",
+    "repro.hw",
+    "repro.workloads",
+    "repro.sim",
+    "repro.baselines",
+    "repro.scenarios",
+    "repro.analysis",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        mod = importlib.import_module(package)
+        assert hasattr(mod, "__all__"), package
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{package}.{name} advertised but missing"
+
+    def test_top_level_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_no_duplicate_exports(self):
+        for package in PACKAGES:
+            mod = importlib.import_module(package)
+            assert len(mod.__all__) == len(set(mod.__all__)), package
+
+
+class TestQuickstartSnippet:
+    def test_readme_quickstart_runs(self):
+        """The exact flow the README advertises."""
+        from repro import DynamicPowerManager, pama_frontier, scenario1
+
+        scenario = scenario1()
+        frontier = pama_frontier()
+        mgr = DynamicPowerManager(
+            scenario.charging,
+            scenario.event_demand,
+            scenario.weight(),
+            frontier=frontier,
+            spec=scenario.spec,
+        )
+        allocation, schedule = mgr.plan()
+        assert allocation.feasible and len(schedule) == 12
+        mgr.start()
+        for _ in range(24):
+            step = mgr.advance()
+            assert step.level >= 0

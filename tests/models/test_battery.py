@@ -1,0 +1,153 @@
+"""Battery: step semantics, exact bound crossings, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.battery import Battery, BatterySpec
+
+
+@pytest.fixture
+def spec() -> BatterySpec:
+    return BatterySpec(c_max=10.0, c_min=1.0, initial=5.0)
+
+
+class TestSpec:
+    def test_defaults_initial_to_cmin(self):
+        spec = BatterySpec(c_max=10.0, c_min=2.0)
+        assert spec.initial == 2.0
+
+    def test_usable_window(self, spec):
+        assert spec.usable == 9.0
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            BatterySpec(c_max=1.0, c_min=2.0)
+
+    def test_rejects_initial_outside_window(self):
+        with pytest.raises(ValueError):
+            BatterySpec(c_max=10.0, c_min=1.0, initial=11.0)
+
+    def test_clamp(self, spec):
+        assert spec.clamp(0.0) == 1.0
+        assert spec.clamp(12.0) == 10.0
+        assert spec.clamp(5.5) == 5.5
+
+
+class TestBasicFlows:
+    def test_pure_charging(self, spec):
+        b = Battery(spec)
+        step = b.step(charge_power=1.0, draw_power=0.0, dt=2.0)
+        assert step.charged == pytest.approx(2.0)
+        assert step.wasted == 0.0
+        assert b.level == pytest.approx(7.0)
+
+    def test_pure_draw(self, spec):
+        b = Battery(spec)
+        step = b.step(0.0, 1.0, 2.0)
+        assert step.drawn == pytest.approx(2.0)
+        assert step.undersupplied == 0.0
+        assert b.level == pytest.approx(3.0)
+
+    def test_balanced_passthrough(self, spec):
+        b = Battery(spec)
+        step = b.step(3.0, 3.0, 4.0)
+        assert step.charged == pytest.approx(12.0)
+        assert step.drawn == pytest.approx(12.0)
+        assert b.level == pytest.approx(5.0)
+
+    def test_zero_dt_is_noop(self, spec):
+        b = Battery(spec)
+        step = b.step(5.0, 2.0, 0.0)
+        assert step.charged == step.drawn == 0.0
+        assert b.level == 5.0
+
+
+class TestOverflow:
+    def test_waste_after_mid_interval_saturation(self, spec):
+        b = Battery(spec)  # 5 J, headroom 5 J, net +2 W over 5 s = 10 J
+        step = b.step(charge_power=2.0, draw_power=0.0, dt=5.0)
+        assert b.level == 10.0
+        assert step.wasted == pytest.approx(5.0)
+        assert step.charged == pytest.approx(5.0)
+
+    def test_already_full_wastes_net_only(self, spec):
+        b = Battery(spec)
+        b.step(10.0, 0.0, 1.0)  # fill to the brim
+        assert b.level == 10.0
+        step = b.step(charge_power=3.0, draw_power=1.0, dt=2.0)
+        # draw passes through from the source; the net 2 W is wasted
+        assert step.drawn == pytest.approx(2.0)
+        assert step.wasted == pytest.approx(4.0)
+        assert b.level == 10.0
+
+    def test_waste_accounting_independent_of_slicing(self, spec):
+        coarse = Battery(spec)
+        coarse.step(4.0, 1.0, 10.0)
+        fine = Battery(spec)
+        for _ in range(100):
+            fine.step(4.0, 1.0, 0.1)
+        assert fine.total_wasted == pytest.approx(coarse.total_wasted, abs=1e-9)
+        assert fine.level == pytest.approx(coarse.level, abs=1e-9)
+
+
+class TestUnderflow:
+    def test_undersupply_after_mid_interval_floor(self, spec):
+        b = Battery(spec)  # reserve 4 J; net −2 W over 4 s = 8 J demanded
+        step = b.step(charge_power=0.0, draw_power=2.0, dt=4.0)
+        assert b.level == 1.0
+        assert step.undersupplied == pytest.approx(4.0)
+        assert step.drawn == pytest.approx(4.0)
+
+    def test_at_floor_serves_only_supply(self, spec):
+        b = Battery(spec)
+        b.step(0.0, 10.0, 1.0)  # drain to the floor
+        assert b.level == 1.0
+        step = b.step(charge_power=1.0, draw_power=3.0, dt=2.0)
+        assert step.drawn == pytest.approx(2.0)  # only the incoming charge
+        assert step.undersupplied == pytest.approx(4.0)
+        assert b.level == 1.0
+
+
+class TestAccounting:
+    def test_conservation_invariants(self, spec):
+        b = Battery(spec)
+        flows = [(2.0, 0.5), (0.0, 3.0), (5.0, 0.0), (1.0, 1.0), (0.0, 4.0)]
+        supplied = demanded = 0.0
+        for c, u in flows:
+            b.step(c, u, 3.0)
+            supplied += c * 3.0
+            demanded += u * 3.0
+        # every joule offered is stored, passed through, or wasted
+        assert b.total_charged + b.total_wasted == pytest.approx(supplied)
+        # every joule demanded is served or counted undersupplied
+        assert b.total_drawn + b.total_undersupplied == pytest.approx(demanded)
+        # level change equals stored minus drawn
+        assert b.level - spec.initial == pytest.approx(
+            b.total_charged - b.total_drawn
+        )
+
+    def test_reset(self, spec):
+        b = Battery(spec)
+        b.step(10.0, 0.0, 5.0)
+        b.reset()
+        assert b.level == spec.initial
+        assert b.total_wasted == 0.0
+        b.reset(level=2.0)
+        assert b.level == 2.0
+        with pytest.raises(ValueError):
+            b.reset(level=100.0)
+
+    def test_headroom_and_reserve(self, spec):
+        b = Battery(spec)
+        assert b.headroom == pytest.approx(5.0)
+        assert b.reserve == pytest.approx(4.0)
+
+    def test_negative_inputs_rejected(self, spec):
+        b = Battery(spec)
+        with pytest.raises(ValueError):
+            b.step(-1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            b.step(0.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            b.step(0.0, 0.0, -1.0)

@@ -1,0 +1,85 @@
+"""Property-based battery invariants (hypothesis).
+
+The three conservation laws the step function must satisfy for *any*
+flow sequence, plus slicing invariance — the properties the paper's
+energy metrics silently rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.battery import Battery, BatterySpec
+
+flow = st.tuples(
+    st.floats(min_value=0.0, max_value=20.0),  # charge W
+    st.floats(min_value=0.0, max_value=20.0),  # draw W
+    st.floats(min_value=0.0, max_value=5.0),  # dt s
+)
+
+spec_strategy = st.tuples(
+    st.floats(min_value=0.0, max_value=5.0),  # c_min
+    st.floats(min_value=0.1, max_value=50.0),  # usable window
+    st.floats(min_value=0.0, max_value=1.0),  # initial position in window
+).map(
+    lambda t: BatterySpec(
+        c_max=t[0] + t[1], c_min=t[0], initial=t[0] + t[2] * t[1]
+    )
+)
+
+
+@given(spec_strategy, st.lists(flow, min_size=1, max_size=30))
+def test_conservation_laws(spec, flows):
+    b = Battery(spec)
+    supplied = demanded = 0.0
+    for c, u, dt in flows:
+        b.step(c, u, dt)
+        supplied += c * dt
+        demanded += u * dt
+    assert b.total_charged + b.total_wasted == pytest.approx(supplied, abs=1e-7)
+    assert b.total_drawn + b.total_undersupplied == pytest.approx(demanded, abs=1e-7)
+    assert b.level - spec.initial == pytest.approx(
+        b.total_charged - b.total_drawn, abs=1e-7
+    )
+
+
+@given(spec_strategy, st.lists(flow, min_size=1, max_size=30))
+def test_level_always_within_window(spec, flows):
+    b = Battery(spec)
+    for c, u, dt in flows:
+        b.step(c, u, dt)
+        assert spec.c_min - 1e-9 <= b.level <= spec.c_max + 1e-9
+
+
+@given(
+    spec_strategy,
+    st.floats(min_value=0.0, max_value=10.0),
+    st.floats(min_value=0.0, max_value=10.0),
+    st.floats(min_value=0.5, max_value=10.0),
+    st.integers(min_value=2, max_value=20),
+)
+def test_slicing_invariance(spec, c, u, total_dt, pieces):
+    """Stepping an interval in one go or in pieces books identical energy."""
+    whole = Battery(spec)
+    whole.step(c, u, total_dt)
+    sliced = Battery(spec)
+    for _ in range(pieces):
+        sliced.step(c, u, total_dt / pieces)
+    assert sliced.level == pytest.approx(whole.level, abs=1e-7)
+    assert sliced.total_wasted == pytest.approx(whole.total_wasted, abs=1e-7)
+    assert sliced.total_undersupplied == pytest.approx(
+        whole.total_undersupplied, abs=1e-7
+    )
+
+
+@given(spec_strategy, st.lists(flow, min_size=1, max_size=20))
+def test_accumulators_are_monotone(spec, flows):
+    b = Battery(spec)
+    prev = (0.0, 0.0, 0.0, 0.0)
+    for c, u, dt in flows:
+        b.step(c, u, dt)
+        cur = (b.total_charged, b.total_drawn, b.total_wasted, b.total_undersupplied)
+        assert all(y >= x - 1e-12 for x, y in zip(prev, cur))
+        prev = cur

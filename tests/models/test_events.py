@@ -1,0 +1,81 @@
+"""Event-rate schedules, weight functions, and the rate↔power bridge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.events import (
+    EventRateProfile,
+    bursty_rate,
+    constant_rate,
+    diurnal_rate,
+    emphasized_weight,
+    uniform_weight,
+)
+from repro.util.schedule import Schedule
+from repro.util.timegrid import TimeGrid
+
+
+@pytest.fixture
+def g() -> TimeGrid:
+    return TimeGrid(period=24.0, tau=2.0)
+
+
+class TestRateConstructors:
+    def test_constant(self, g):
+        r = constant_rate(g, 0.5)
+        assert all(v == 0.5 for v in r.values)
+        with pytest.raises(ValueError):
+            constant_rate(g, -1.0)
+
+    def test_diurnal_mean_preserved(self, g):
+        r = diurnal_rate(g, mean=2.0, amplitude=1.0)
+        assert r.mean() == pytest.approx(2.0, abs=1e-9)
+        assert np.all(r.values >= 0)
+
+    def test_diurnal_amplitude_capped(self, g):
+        with pytest.raises(ValueError, match="amplitude"):
+            diurnal_rate(g, mean=1.0, amplitude=2.0)
+
+    def test_diurnal_phase_shifts_peak(self, g):
+        a = diurnal_rate(g, 2.0, 1.0, phase=0.0)
+        b = diurnal_rate(g, 2.0, 1.0, phase=np.pi)
+        assert int(np.argmax(a.values)) != int(np.argmax(b.values))
+
+    def test_bursty(self, g):
+        r = bursty_rate(g, base=0.1, burst=5.0, burst_slots=[2, -1])
+        assert r[2] == 5.0
+        assert r[11] == 5.0
+        assert r[0] == 0.1
+
+
+class TestWeights:
+    def test_uniform(self, g):
+        w = uniform_weight(g)
+        assert all(v == 1.0 for v in w.values)
+
+    def test_emphasized(self, g):
+        w = emphasized_weight(g, slots=[0, 1], factor=3.0)
+        assert w[0] == 3.0 and w[1] == 3.0 and w[2] == 1.0
+
+    def test_emphasis_factor_positive(self, g):
+        with pytest.raises(ValueError):
+            emphasized_weight(g, slots=[0], factor=0.0)
+
+
+class TestProfile:
+    def test_demanded_power(self, g):
+        profile = EventRateProfile(constant_rate(g, 2.0), energy_per_event=0.5)
+        assert all(v == pytest.approx(1.0) for v in profile.demanded_power().values)
+
+    def test_events_in_slot_and_total(self, g):
+        profile = EventRateProfile(constant_rate(g, 2.0), energy_per_event=0.5)
+        assert profile.events_in_slot(3) == pytest.approx(4.0)
+        assert profile.total_events() == pytest.approx(48.0)
+
+    def test_rejects_bad_inputs(self, g):
+        with pytest.raises(ValueError):
+            EventRateProfile(constant_rate(g, 2.0), energy_per_event=0.0)
+        with pytest.raises(ValueError):
+            EventRateProfile(Schedule(g, [-1.0] + [0.0] * 11), energy_per_event=1.0)

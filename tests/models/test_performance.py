@@ -1,0 +1,83 @@
+"""Performance model: Amdahl structure and DVFS scaling (Eqs. 1–3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.performance import PerformanceModel
+from repro.models.voltage import FixedVoltageVFMap
+from repro.scenarios.paper import MHZ, pama_performance_model
+
+
+class TestAmdahl:
+    def test_single_processor_time_is_t_total(self, perf_model):
+        assert perf_model.amdahl_time(1) == pytest.approx(perf_model.t_total)
+
+    def test_speedup_monotone_and_bounded(self, perf_model):
+        speedups = [perf_model.speedup(n) for n in range(1, 16)]
+        assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+        # Amdahl bound: 1 / serial_fraction
+        assert speedups[-1] < 1.0 / perf_model.serial_fraction
+
+    def test_fully_parallel_speedup_is_n(self, fixed_vf):
+        m = PerformanceModel(t_total=4.8, t_serial=0.0, f_ref=20 * MHZ, vf_map=fixed_vf)
+        assert m.speedup(7) == pytest.approx(7.0)
+
+    def test_serial_exceeding_total_rejected(self, fixed_vf):
+        with pytest.raises(ValueError):
+            PerformanceModel(t_total=1.0, t_serial=2.0, f_ref=1e6, vf_map=fixed_vf)
+
+    def test_n_below_one_rejected(self, perf_model):
+        with pytest.raises(ValueError):
+            perf_model.amdahl_time(0)
+
+    def test_optimal_processor_count_crossover(self, fixed_vf):
+        # Ts = 0.1·Tt ⇒ n* = 2(Tt/Ts − 1) = 18
+        m = PerformanceModel(t_total=1.0, t_serial=0.1, f_ref=1e6, vf_map=fixed_vf)
+        assert m.optimal_processor_count == pytest.approx(18.0)
+
+    def test_optimal_count_infinite_for_parallel_workload(self, fixed_vf):
+        m = PerformanceModel(t_total=1.0, t_serial=0.0, f_ref=1e6, vf_map=fixed_vf)
+        assert m.optimal_processor_count == float("inf")
+
+
+class TestDVFS:
+    def test_paper_calibration_point(self, perf_model):
+        # one 2K FFT on one processor at 20 MHz takes 4.8 s
+        assert perf_model.task_time(1, 20 * MHZ) == pytest.approx(4.8)
+
+    def test_task_time_scales_inversely_with_frequency(self, perf_model):
+        assert perf_model.task_time(1, 80 * MHZ) == pytest.approx(4.8 / 4)
+
+    def test_perf_zero_when_parked(self, perf_model):
+        assert perf_model.perf(0, 80 * MHZ) == 0.0
+        assert perf_model.perf(4, 0.0) == 0.0
+        assert perf_model.task_time(0, 80 * MHZ) == float("inf")
+
+    def test_perf_increases_with_n_and_f(self, perf_model):
+        base = perf_model.perf(1, 20 * MHZ)
+        assert perf_model.perf(2, 20 * MHZ) > base
+        assert perf_model.perf(1, 40 * MHZ) > base
+
+    def test_effective_frequency_caps_at_g(self, linear_vf):
+        m = PerformanceModel(t_total=1.0, t_serial=0.1, f_ref=50e6, vf_map=linear_vf)
+        # 0.6 V sustains only 30 MHz; asking for 150 MHz delivers 30
+        assert m.perf(1, 150e6, 0.6) == pytest.approx(m.perf(1, 30e6, 0.6))
+
+    def test_default_voltage_is_eq11_optimal(self, linear_vf):
+        m = PerformanceModel(t_total=1.0, t_serial=0.1, f_ref=50e6, vf_map=linear_vf)
+        f = 100e6
+        assert m.perf(1, f) == pytest.approx(m.perf(1, f, linear_vf.optimal_voltage(f)))
+
+    def test_throughput_is_reciprocal_task_time(self, perf_model):
+        t = perf_model.task_time(3, 40 * MHZ)
+        assert perf_model.throughput(3, 40 * MHZ) == pytest.approx(1.0 / t)
+        assert perf_model.throughput(0, 40 * MHZ) == 0.0
+
+
+class TestPamaNumbers:
+    def test_seven_workers_at_80mhz_event_rate(self):
+        m = pama_performance_model()
+        # 0.48 s serial + 4.32/7 parallel at 20 MHz → ×(20/80) at 80 MHz
+        expected = (0.48 + 4.32 / 7) * (20 / 80)
+        assert m.task_time(7, 80 * MHZ) == pytest.approx(expected)

@@ -1,0 +1,109 @@
+"""Power model: Eqs. 4–6, calibration, heterogeneous settings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.power import PowerModel
+from repro.scenarios.paper import MHZ, POWER_QUANTUM_W, VOLTAGE_V
+
+
+@pytest.fixture
+def pm() -> PowerModel:
+    return PowerModel.from_reference_point(
+        f_ref=20 * MHZ, v_ref=VOLTAGE_V, p_ref=POWER_QUANTUM_W
+    )
+
+
+class TestCalibration:
+    def test_reference_point_reproduced(self, pm):
+        assert pm.active_power(20 * MHZ, VOLTAGE_V) == pytest.approx(POWER_QUANTUM_W)
+
+    def test_paper_quantum_at_80mhz_is_393mw(self, pm):
+        # 4 × the 20 MHz quantum — the M32R/D active-core figure
+        assert pm.active_power(80 * MHZ, VOLTAGE_V) == pytest.approx(0.3932, rel=1e-3)
+
+    def test_calibration_with_floor(self):
+        pm = PowerModel.from_reference_point(
+            f_ref=1e8, v_ref=1.0, p_ref=1.0, active_floor=0.25
+        )
+        assert pm.active_power(1e8, 1.0) == pytest.approx(1.0)
+
+    def test_calibration_rejects_power_below_floor(self):
+        with pytest.raises(ValueError):
+            PowerModel.from_reference_point(
+                f_ref=1e8, v_ref=1.0, p_ref=0.1, active_floor=0.25
+            )
+
+
+class TestScaling:
+    def test_linear_in_frequency(self, pm):
+        p20 = pm.active_power(20 * MHZ, VOLTAGE_V)
+        p80 = pm.active_power(80 * MHZ, VOLTAGE_V)
+        assert p80 == pytest.approx(4 * p20)
+
+    def test_quadratic_in_voltage(self):
+        pm = PowerModel(c2=1e-9)
+        assert pm.active_power(1e8, 2.0) == pytest.approx(
+            4 * pm.active_power(1e8, 1.0)
+        )
+
+    def test_eq6_linear_in_processors(self, pm):
+        one = pm.system_power(1, 40 * MHZ, VOLTAGE_V)
+        five = pm.system_power(5, 40 * MHZ, VOLTAGE_V)
+        assert five == pytest.approx(5 * one)
+
+    def test_standby_floor_counted(self):
+        pm = PowerModel(c2=1e-9, standby_power=0.01)
+        total = pm.system_power(2, 1e8, 1.0, n_total=5)
+        assert total == pytest.approx(2 * 0.1 + 3 * 0.01)
+
+    def test_n_total_validation(self, pm):
+        with pytest.raises(ValueError):
+            pm.system_power(5, 1e8, 1.0, n_total=3)
+        with pytest.raises(ValueError):
+            pm.system_power(-1, 1e8, 1.0)
+
+
+class TestModes:
+    def test_mode_power_dispatch(self):
+        pm = PowerModel(c2=1e-9, standby_power=0.0066, sleep_power=0.393)
+        assert pm.mode_power("standby") == 0.0066
+        assert pm.mode_power("sleep") == 0.393
+        assert pm.mode_power("off") == 0.0
+        assert pm.mode_power("active", 1e8, 1.0) == pytest.approx(0.1)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown processor mode"):
+            PowerModel(c2=1e-9).mode_power("hibernate")
+
+
+class TestHeterogeneous:
+    def test_eq5_matches_eq6_for_uniform_settings(self, pm):
+        n, f, v = 4, 40 * MHZ, VOLTAGE_V
+        hetero = pm.heterogeneous_power([f] * n, [v] * n)
+        homo = pm.system_power(n, f, v)
+        assert hetero == pytest.approx(homo)
+
+    def test_zero_frequency_means_standby(self):
+        pm = PowerModel(c2=1e-9, standby_power=0.02)
+        p = pm.heterogeneous_power([1e8, 0.0], [1.0, 0.0])
+        assert p == pytest.approx(0.1 + 0.02)
+
+    def test_mismatched_lengths_rejected(self, pm):
+        with pytest.raises(ValueError):
+            pm.heterogeneous_power([1e8], [1.0, 1.0])
+
+    def test_active_needs_positive_voltage(self, pm):
+        with pytest.raises(ValueError):
+            pm.heterogeneous_power([1e8], [0.0])
+
+
+class TestEnergy:
+    def test_energy_is_power_times_time(self, pm):
+        p = pm.system_power(3, 80 * MHZ, VOLTAGE_V)
+        assert pm.energy(3, 80 * MHZ, VOLTAGE_V, 4.8) == pytest.approx(p * 4.8)
+
+    def test_negative_duration_rejected(self, pm):
+        with pytest.raises(ValueError):
+            pm.energy(1, 1e8, 1.0, -1.0)

@@ -1,0 +1,149 @@
+"""Charging sources: expected vs. actual faces, noise reproducibility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.sources import (
+    NoisySource,
+    ScaledSource,
+    ScheduledSource,
+    SolarOrbitSource,
+    SquareWaveSource,
+    source_from_values,
+)
+from repro.util.schedule import Schedule
+from repro.util.timegrid import TimeGrid
+
+
+@pytest.fixture
+def g12() -> TimeGrid:
+    return TimeGrid(period=57.6, tau=4.8)
+
+
+class TestScheduledSource:
+    def test_actual_follows_expected_exactly(self, g12):
+        values = np.linspace(0, 2, 12)
+        src = source_from_values(g12, values)
+        for t in (0.0, 10.0, 30.0, 57.0, 60.0):
+            assert src.actual_power(t) == src.expected()(t)
+
+    def test_slot_energy_matches_schedule(self, g12):
+        src = source_from_values(g12, np.arange(12, dtype=float))
+        assert src.actual_slot_energy(4.8) == pytest.approx(1.0 * 4.8)
+
+
+class TestSquareWave:
+    def test_scenario1_shape(self, g12):
+        src = SquareWaveSource(g12, peak=2.36, sunlit_fraction=0.5)
+        expected = src.expected()
+        np.testing.assert_allclose(expected.values[:6], 2.36)
+        np.testing.assert_allclose(expected.values[6:], 0.0)
+
+    def test_actual_power_switches_at_boundary(self, g12):
+        src = SquareWaveSource(g12, peak=1.0, sunlit_fraction=0.5)
+        assert src.actual_power(28.0) == 1.0
+        assert src.actual_power(29.0) == 0.0
+        assert src.actual_power(57.6 + 1.0) == 1.0  # periodic
+
+    def test_energy_fraction(self, g12):
+        src = SquareWaveSource(g12, peak=2.0, sunlit_fraction=0.25)
+        assert src.expected().total_energy() == pytest.approx(2.0 * 0.25 * 57.6)
+
+
+class TestSolarOrbit:
+    def test_eclipse_is_dark(self, g12):
+        src = SolarOrbitSource(g12, peak=3.0, sunlit_fraction=0.5)
+        assert src.actual_power(40.0) == 0.0
+
+    def test_peak_mid_arc(self, g12):
+        src = SolarOrbitSource(g12, peak=3.0, sunlit_fraction=0.5)
+        assert src.actual_power(0.25 * 57.6) == pytest.approx(3.0)
+
+    def test_expected_integral_matches_continuous(self, g12):
+        src = SolarOrbitSource(g12, peak=3.0, sunlit_fraction=0.5)
+        # ∫ peak·sin(πx) over the sunlit arc = peak·2/π·arc_length
+        arc = 0.5 * 57.6
+        analytic = 3.0 * 2.0 / np.pi * arc
+        assert src.expected().total_energy() == pytest.approx(analytic, rel=1e-9)
+
+    def test_slot_energy_sums_to_total(self, g12):
+        src = SolarOrbitSource(g12, peak=3.0, sunlit_fraction=0.6)
+        total = sum(src.actual_slot_energy(t) for t in g12.slot_starts())
+        assert total == pytest.approx(src.expected().total_energy(), rel=1e-9)
+
+
+class TestNoisySource:
+    def test_expected_is_base(self, g12):
+        base = SquareWaveSource(g12, peak=2.0)
+        noisy = NoisySource(base, sigma=0.3, seed=7)
+        assert noisy.expected() == base.expected()
+
+    def test_same_seed_reproduces(self, g12):
+        base = SquareWaveSource(g12, peak=2.0)
+        a = NoisySource(base, sigma=0.3, seed=7)
+        b = NoisySource(base, sigma=0.3, seed=7)
+        times = [0.0, 4.8, 60.0, 100.0]
+        assert [a.actual_power(t) for t in times] == [
+            b.actual_power(t) for t in times
+        ]
+
+    def test_different_seeds_differ(self, g12):
+        base = SquareWaveSource(g12, peak=2.0)
+        a = NoisySource(base, sigma=0.5, seed=1)
+        b = NoisySource(base, sigma=0.5, seed=2)
+        times = np.arange(0, 28.8, 4.8)
+        assert any(a.actual_power(t) != b.actual_power(t) for t in times)
+
+    def test_actual_never_negative(self, g12):
+        base = SquareWaveSource(g12, peak=2.0)
+        noisy = NoisySource(base, sigma=5.0, seed=3)
+        for t in np.arange(0, 57.6, 4.8):
+            assert noisy.actual_power(t) >= 0.0
+
+    def test_zero_sigma_is_exact(self, g12):
+        base = SquareWaveSource(g12, peak=2.0)
+        noisy = NoisySource(base, sigma=0.0, seed=3)
+        for t in np.arange(0, 57.6, 4.8):
+            assert noisy.actual_power(t) == base.actual_power(t)
+
+
+class TestScaledSource:
+    def test_systematic_bias(self, g12):
+        base = SquareWaveSource(g12, peak=2.0)
+        scaled = ScaledSource(base, factor=0.8)
+        assert scaled.actual_power(1.0) == pytest.approx(1.6)
+        assert scaled.expected() == base.expected()  # forecast unchanged
+
+
+class TestTraceSource:
+    def test_finite_trace_replay(self, g12):
+        from repro.models.sources import TraceSource
+
+        expected = Schedule(g12, np.full(12, 2.0))
+        actual = [1.0, 2.0, 3.0]
+        src = TraceSource(expected, actual)
+        assert src.expected()(0.0) == 2.0
+        assert src.actual_power(0.0) == 1.0
+        assert src.actual_power(5.0) == 2.0  # second slot
+        assert src.actual_power(100.0) == 0.0  # past the recording
+        assert src.trace_length == 3
+
+    def test_slot_energy_from_trace(self, g12):
+        from repro.models.sources import TraceSource
+
+        src = TraceSource(Schedule(g12, np.ones(12)), [0.5] * 24)
+        assert src.actual_slot_energy(4.8) == pytest.approx(0.5 * 4.8)
+
+    def test_validation(self, g12):
+        from repro.models.sources import TraceSource
+
+        expected = Schedule(g12, np.ones(12))
+        with pytest.raises(ValueError):
+            TraceSource(expected, [])
+        with pytest.raises(ValueError):
+            TraceSource(expected, [1.0, -1.0])
+        src = TraceSource(expected, [1.0])
+        with pytest.raises(ValueError):
+            src.actual_power(-1.0)

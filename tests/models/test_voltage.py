@@ -1,0 +1,120 @@
+"""Voltage–frequency maps: g, g⁻¹, Eq. 11 optimal voltage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.voltage import (
+    AlphaPowerVFMap,
+    FixedVoltageVFMap,
+    LinearVFMap,
+    TabulatedVFMap,
+)
+
+
+class TestLinearMap:
+    def test_g_is_linear_above_threshold(self, linear_vf):
+        assert linear_vf.g(0.6) == pytest.approx(30e6)
+        assert linear_vf.g(1.3) == pytest.approx(100e6)
+
+    def test_g_rejects_out_of_range_voltage(self, linear_vf):
+        with pytest.raises(ValueError):
+            linear_vf.g(0.5)
+        with pytest.raises(ValueError):
+            linear_vf.g(2.0)
+
+    def test_inverse_round_trip(self, linear_vf):
+        for v in np.linspace(0.6, 1.8, 7):
+            f = linear_vf.g(v)
+            assert linear_vf.g_inverse(f) == pytest.approx(v, rel=1e-9)
+
+    def test_inverse_below_floor_returns_vmin(self, linear_vf):
+        assert linear_vf.g_inverse(1e6) == linear_vf.v_min
+
+    def test_inverse_rejects_unreachable(self, linear_vf):
+        with pytest.raises(ValueError, match="unreachable"):
+            linear_vf.g_inverse(1e9)
+
+    def test_threshold_must_be_below_vmin(self):
+        with pytest.raises(ValueError):
+            LinearVFMap(v_min=0.6, v_max=1.8, slope=1e8, v_threshold=0.7)
+
+    def test_floor_and_ceiling(self, linear_vf):
+        assert linear_vf.f_floor == pytest.approx(30e6)
+        assert linear_vf.f_ceiling == pytest.approx(150e6)
+
+
+class TestOptimalVoltage:
+    def test_eq11_low_frequency_uses_vmin(self, linear_vf):
+        # f < g(v_min): voltage floor binds
+        assert linear_vf.optimal_voltage(10e6) == linear_vf.v_min
+
+    def test_eq11_high_frequency_uses_inverse(self, linear_vf):
+        f = 100e6
+        v = linear_vf.optimal_voltage(f)
+        assert v == pytest.approx(linear_vf.g_inverse(f))
+        assert linear_vf.g(v) == pytest.approx(f, rel=1e-9)
+
+    def test_effective_frequency_is_min(self, linear_vf):
+        # asking for 150 MHz at 0.6 V delivers only g(0.6) = 30 MHz
+        assert linear_vf.effective_frequency(150e6, 0.6) == pytest.approx(30e6)
+        # asking for 10 MHz at any voltage delivers 10 MHz
+        assert linear_vf.effective_frequency(10e6, 1.8) == pytest.approx(10e6)
+
+
+class TestAlphaPowerMap:
+    def test_monotone_in_voltage(self):
+        m = AlphaPowerVFMap(v_min=0.8, v_max=1.6, k=3e8, v_threshold=0.35, alpha=1.4)
+        volts = np.linspace(0.8, 1.6, 30)
+        freqs = [m.g(v) for v in volts]
+        assert all(b >= a for a, b in zip(freqs, freqs[1:]))
+
+    def test_bisection_inverse_round_trip(self):
+        m = AlphaPowerVFMap(v_min=0.8, v_max=1.6, k=3e8, v_threshold=0.35, alpha=1.4)
+        for v in np.linspace(0.85, 1.6, 5):
+            f = m.g(v)
+            assert m.g(m.g_inverse(f)) == pytest.approx(f, rel=1e-6)
+
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(ValueError):
+            AlphaPowerVFMap(v_min=0.8, v_max=1.6, k=3e8, v_threshold=0.35, alpha=0.9)
+
+
+class TestFixedVoltageMap:
+    def test_g_is_constant(self, fixed_vf):
+        assert fixed_vf.g(3.3) == 80e6
+        assert fixed_vf.f_floor == fixed_vf.f_ceiling == 80e6
+
+    def test_inverse_always_vmin(self, fixed_vf):
+        assert fixed_vf.g_inverse(20e6) == 3.3
+        assert fixed_vf.g_inverse(80e6) == 3.3
+
+    def test_inverse_rejects_above_fmax(self, fixed_vf):
+        with pytest.raises(ValueError):
+            fixed_vf.g_inverse(81e6)
+
+    def test_optimal_voltage_is_the_voltage(self, fixed_vf):
+        assert fixed_vf.optimal_voltage(40e6) == 3.3
+
+
+class TestTabulatedMap:
+    def test_interpolates_between_points(self):
+        m = TabulatedVFMap([(1.0, 100e6), (2.0, 300e6)])
+        assert m.g(1.5) == pytest.approx(200e6)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            TabulatedVFMap([(1.0, 100e6)])
+
+    def test_rejects_decreasing_frequency(self):
+        with pytest.raises(ValueError):
+            TabulatedVFMap([(1.0, 300e6), (2.0, 100e6)])
+
+    def test_rejects_duplicate_voltages(self):
+        with pytest.raises(ValueError):
+            TabulatedVFMap([(1.0, 100e6), (1.0, 200e6)])
+
+    def test_inverse_via_bisection(self):
+        m = TabulatedVFMap([(1.0, 100e6), (1.5, 150e6), (2.0, 400e6)])
+        assert m.g(m.g_inverse(250e6)) == pytest.approx(250e6, rel=1e-6)

@@ -1,0 +1,78 @@
+"""Scenario library beyond the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy import compare_policies
+from repro.scenarios.library import (
+    burst_watch,
+    commute_traffic,
+    deep_discharge,
+    eclipse_orbit,
+    library_scenarios,
+)
+from repro.scenarios.paper import pama_frontier, pama_grid
+
+
+class TestConstructors:
+    def test_all_on_the_pama_grid(self):
+        for sc in library_scenarios():
+            assert sc.grid == pama_grid()
+            assert np.all(sc.charging.values >= 0)
+            assert np.all(sc.event_demand.values >= 0)
+
+    def test_names_unique(self):
+        names = [sc.name for sc in library_scenarios()]
+        assert len(set(names)) == len(names)
+
+    def test_eclipse_orbit_has_dark_slots(self):
+        sc = eclipse_orbit(sunlit_fraction=0.5)
+        assert (sc.charging.values == 0).sum() >= 4
+
+    def test_eclipse_demand_balances_supply(self):
+        sc = eclipse_orbit()
+        assert sc.event_demand.total_energy() == pytest.approx(
+            sc.charging.total_energy(), rel=1e-9
+        )
+
+    def test_commute_weights_raise_commute_slots(self):
+        flat = commute_traffic(emphasis=1.0)
+        weighted = commute_traffic(emphasis=4.0)
+        # emphasized slots grow, everything else is unchanged
+        ratio = weighted.event_demand.values / np.maximum(
+            flat.event_demand.values, 1e-12
+        )
+        assert ratio[2] == pytest.approx(4.0)
+        assert ratio[5] == pytest.approx(1.0)
+
+    def test_burst_watch_peaks_at_burst_slots(self):
+        sc = burst_watch(burst_slots=(7, 8), burst=2.8)
+        assert sc.event_demand[7] == 2.8
+        assert sc.event_demand[0] == pytest.approx(0.25)
+
+    def test_deep_discharge_is_undersupplied(self):
+        sc = deep_discharge()
+        assert sc.event_demand.total_energy() > sc.charging.total_energy()
+
+
+class TestBehaviour:
+    @pytest.fixture(scope="class")
+    def frontier_l(self):
+        return pama_frontier()
+
+    def test_proposed_eliminates_undersupply_everywhere(self, frontier_l):
+        """Across the whole library the planner's own demand is served —
+        the defining property of a feasible allocation."""
+        for sc in library_scenarios():
+            res = compare_policies(sc, frontier_l)
+            assert res["proposed"].undersupplied < 1.0, sc.name
+
+    def test_proposed_beats_static_on_combined_loss(self, frontier_l):
+        """Waste + undersupply combined, the plan wins on every scenario."""
+        for sc in library_scenarios():
+            res = compare_policies(sc, frontier_l)
+            proposed = res["proposed"].wasted + res["proposed"].undersupplied
+            static = res["static"].wasted + res["static"].undersupplied
+            assert proposed < static, sc.name

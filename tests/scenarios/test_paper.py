@@ -1,0 +1,123 @@
+"""Paper constants and digitized scenarios: self-consistency checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios.paper import (
+    C_MAX_J,
+    C_MIN_J,
+    FREQUENCIES_HZ,
+    MHZ,
+    N_SLOTS,
+    PERIOD_S,
+    POWER_QUANTUM_W,
+    SCENARIO1_CHARGING_W,
+    SCENARIO1_USAGE_W,
+    SCENARIO2_CHARGING_W,
+    SCENARIO2_USAGE_W,
+    TAU_S,
+    pama_battery_spec,
+    pama_frontier,
+    pama_grid,
+    pama_performance_model,
+    pama_power_model,
+    paper_scenarios,
+    scenario1,
+    scenario2,
+)
+
+
+class TestTiming:
+    def test_twelve_slots(self):
+        assert PERIOD_S / TAU_S == N_SLOTS == 12
+        assert pama_grid().n_slots == 12
+
+    def test_tau_is_the_fft_time(self):
+        m = pama_performance_model()
+        assert m.task_time(1, 20 * MHZ) == pytest.approx(TAU_S)
+
+
+class TestPowerCalibration:
+    def test_charging_powers_are_quantum_multiples(self):
+        """The supplied-power columns of Tables 3/5 are multiples of the
+        0.0983 W quantum — the key calibration recovery (DESIGN.md §7).
+        (The *use* schedules are Eq. 8-normalized shapes and need not be.)"""
+        for v in SCENARIO1_CHARGING_W + SCENARIO2_CHARGING_W:
+            quanta = v / POWER_QUANTUM_W
+            assert abs(quanta - round(quanta)) < 0.05, v
+
+    def test_80mhz_processor_draws_4_quanta(self):
+        pm = pama_power_model(include_standby_floor=False)
+        assert pm.active_power(80 * MHZ, 3.3) == pytest.approx(
+            4 * POWER_QUANTUM_W
+        )
+
+    def test_battery_window_in_tau_units(self):
+        assert C_MAX_J / TAU_S == pytest.approx(3.54)
+        assert C_MIN_J / TAU_S == pytest.approx(0.098)
+
+    def test_frontier_max_is_seven_workers_flat_out(self):
+        f = pama_frontier()
+        assert f.max_power == pytest.approx(7 * 4 * POWER_QUANTUM_W)
+        assert f.max_perf_point.n == 7
+        assert f.max_perf_point.f == 80 * MHZ
+
+    def test_frontier_controller_shift(self):
+        base = pama_frontier()
+        shifted = pama_frontier(controller_power=POWER_QUANTUM_W)
+        assert shifted.min_power == pytest.approx(
+            base.min_power + POWER_QUANTUM_W
+        )
+
+
+class TestScenarios:
+    def test_scenario1_charging_is_half_period_square(self, sc1):
+        np.testing.assert_allclose(sc1.charging.values[:6], 2.36)
+        np.testing.assert_allclose(sc1.charging.values[6:], 0.0)
+
+    def test_scenario1_demand_is_periodic_within_period(self, sc1):
+        # the paper's use schedule repeats its 6-slot pattern twice
+        np.testing.assert_allclose(
+            sc1.event_demand.values[:6],
+            sc1.event_demand.values[6:],
+            atol=0.011,
+        )
+
+    def test_scenario2_energy_balanced(self, sc2):
+        """Table 4's iteration-1 row is post-normalization: supply and
+        demand energies agree to table rounding."""
+        assert sc2.event_demand.total_energy() == pytest.approx(
+            sc2.charging.total_energy(), rel=2e-3
+        )
+
+    def test_scenario2_demand_peaks_in_eclipse(self, sc2):
+        peak_slot = int(np.argmax(sc2.event_demand.values))
+        assert sc2.charging.values[peak_slot] < max(sc2.charging.values)
+
+    def test_battery_spec_defaults(self):
+        spec = pama_battery_spec()
+        assert spec.initial == spec.c_min
+        custom = pama_battery_spec(initial=5.0)
+        assert custom.initial == 5.0
+
+    def test_paper_scenarios_ordering(self):
+        s1, s2 = paper_scenarios()
+        assert s1.name == "scenario1"
+        assert s2.name == "scenario2"
+
+    def test_uniform_weight(self, sc1):
+        assert np.all(sc1.weight().values == 1.0)
+
+    def test_scenarios_share_the_grid(self):
+        assert scenario1().grid == scenario2().grid == pama_grid()
+
+
+class TestVfMapFactory:
+    def test_pama_vf_map_is_fixed_voltage(self):
+        from repro.scenarios.paper import pama_vf_map
+
+        vf = pama_vf_map()
+        assert vf.v_min == vf.v_max == 3.3
+        assert vf.g(3.3) == 80e6

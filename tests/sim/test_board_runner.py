@@ -1,0 +1,104 @@
+"""Board-level end-to-end runs: chip accounting vs. the abstract models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.manager import DynamicPowerManager
+from repro.hw.board import PamaBoard, default_pama_config
+from repro.models.sources import ScheduledSource
+from repro.scenarios.paper import (
+    MHZ,
+    STANDBY_W,
+    pama_frontier,
+    pama_power_model,
+    scenario1,
+)
+from repro.sim.board_runner import BoardRunner
+
+
+@pytest.fixture
+def runner(sc1):
+    board = PamaBoard(default_pama_config(pama_power_model()))
+    manager = DynamicPowerManager(
+        sc1.charging,
+        sc1.event_demand,
+        sc1.weight(),
+        frontier=pama_frontier(),
+        spec=sc1.spec,
+    )
+    return BoardRunner(board, manager, ScheduledSource(sc1.charging), sc1.spec)
+
+
+class TestCrossChecks:
+    def test_meter_agrees_with_chip_books(self, runner):
+        result = runner.run(24)
+        assert result.meter_energy == pytest.approx(result.chip_energy, rel=1e-6)
+
+    def test_board_power_is_model_power_plus_floors(self, runner):
+        """Chip-level draw per slot = frontier worker power + controller
+        chip + stand-by floors of the parked workers."""
+        result = runner.run(12)
+        frontier = runner.manager.frontier
+        controller = runner.board.controller.power
+        for row in result.slots:
+            point = next(
+                p for p in frontier.points
+                if p.n == row.n_active and (p.n == 0 or p.f == row.frequency)
+            )
+            parked = runner.board.n_workers - row.n_active
+            expected = point.power + controller + parked * STANDBY_W
+            assert row.board_power == pytest.approx(expected, rel=1e-6)
+
+    def test_worker_power_excludes_controller_and_floors(self, runner):
+        result = runner.run(6)
+        for row in result.slots:
+            assert row.worker_power <= row.board_power
+
+    def test_battery_stays_in_window(self, runner, sc1):
+        result = runner.run(24)
+        for row in result.slots:
+            assert (
+                sc1.spec.c_min - 1e-9
+                <= row.battery_level
+                <= sc1.spec.c_max + 1e-9
+            )
+
+    def test_commands_only_on_changes(self, runner):
+        result = runner.run(24)
+        for prev, cur in zip(result.slots, result.slots[1:]):
+            same = (
+                prev.n_active == cur.n_active and prev.frequency == cur.frequency
+            )
+            if same:
+                assert cur.command_messages == 0
+
+    def test_ring_carries_every_command(self, runner):
+        result = runner.run(24)
+        assert result.ring_messages == sum(r.command_messages for r in result.slots)
+
+    def test_frequency_changes_logged(self, runner):
+        result = runner.run(24)
+        # scenario I's budget swings force at least one retune
+        assert result.frequency_changes >= 1
+        assert all(r.switch_latency >= 0 for r in result.slots)
+
+
+class TestValidation:
+    def test_small_board_rejected(self, sc1):
+        board = PamaBoard(
+            default_pama_config(pama_power_model()), n_processors=3
+        )
+        manager = DynamicPowerManager(
+            sc1.charging,
+            sc1.event_demand,
+            frontier=pama_frontier(),  # assumes 7 workers
+            spec=sc1.spec,
+        )
+        with pytest.raises(ValueError, match="fewer workers"):
+            BoardRunner(board, manager, ScheduledSource(sc1.charging), sc1.spec)
+
+    def test_zero_slots_rejected(self, runner):
+        with pytest.raises(ValueError):
+            runner.run(0)

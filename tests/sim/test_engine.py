@@ -1,0 +1,90 @@
+"""Discrete-event engine: ordering, cancellation, clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_time_ordered_execution(self):
+        engine = SimulationEngine()
+        log: list[str] = []
+        engine.at(3.0, lambda: log.append("c"))
+        engine.at(1.0, lambda: log.append("a"))
+        engine.at(2.0, lambda: log.append("b"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_among_equal_times(self):
+        engine = SimulationEngine()
+        log: list[int] = []
+        for i in range(5):
+            engine.at(1.0, lambda i=i: log.append(i))
+        engine.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_after_is_relative(self):
+        engine = SimulationEngine(start_time=10.0)
+        times: list[float] = []
+        engine.after(2.5, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [12.5]
+
+    def test_past_scheduling_rejected(self):
+        engine = SimulationEngine(start_time=5.0)
+        with pytest.raises(ValueError):
+            engine.at(4.0, lambda: None)
+        with pytest.raises(ValueError):
+            engine.after(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        engine = SimulationEngine()
+        log: list[float] = []
+
+        def tick():
+            log.append(engine.now)
+            if engine.now < 3.0:
+                engine.after(1.0, tick)
+
+        engine.at(0.0, tick)
+        engine.run()
+        assert log == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestControl:
+    def test_cancel_skips_callback(self):
+        engine = SimulationEngine()
+        log: list[str] = []
+        handle = engine.at(1.0, lambda: log.append("cancelled"))
+        engine.at(2.0, lambda: log.append("kept"))
+        engine.cancel(handle)
+        engine.run()
+        assert log == ["kept"]
+
+    def test_run_until_stops_at_deadline(self):
+        engine = SimulationEngine()
+        log: list[float] = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            engine.at(t, lambda t=t: log.append(t))
+        engine.run_until(2.5)
+        assert log == [1.0, 2.0]
+        assert engine.now == 2.5
+        assert engine.pending == 2
+
+    def test_run_until_rejects_past_deadline(self):
+        engine = SimulationEngine(start_time=5.0)
+        with pytest.raises(ValueError):
+            engine.run_until(4.0)
+
+    def test_step_returns_false_when_empty(self):
+        engine = SimulationEngine()
+        assert engine.step() is False
+
+    def test_events_run_counter(self):
+        engine = SimulationEngine()
+        engine.at(1.0, lambda: None)
+        engine.at(2.0, lambda: None)
+        engine.run()
+        assert engine.events_run == 2

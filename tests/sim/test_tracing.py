@@ -1,0 +1,90 @@
+"""Simulation traces and summary reductions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.tracing import SimTrace, SlotRecord
+
+
+def record(slot: int, **kw) -> SlotRecord:
+    defaults = dict(
+        slot=slot,
+        time=slot * 4.8,
+        allocated_power=1.0,
+        n_active=2,
+        frequency=80e6,
+        used_power=1.0,
+        delivered_power=1.0,
+        supplied_power=2.0,
+        wasted_energy=0.0,
+        undersupplied_energy=0.0,
+        battery_level=5.0,
+        arrivals=3.0,
+        processed=3.0,
+        backlog=0.0,
+    )
+    defaults.update(kw)
+    return SlotRecord(**defaults)
+
+
+class TestTrace:
+    def test_append_enforces_order(self):
+        trace = SimTrace(tau=4.8)
+        trace.append(record(0))
+        trace.append(record(1))
+        with pytest.raises(ValueError):
+            trace.append(record(3))
+
+    def test_column_extraction(self):
+        trace = SimTrace(tau=4.8)
+        trace.append(record(0, used_power=1.0))
+        trace.append(record(1, used_power=2.0))
+        assert trace.column("used_power").tolist() == [1.0, 2.0]
+
+    def test_tau_validated(self):
+        with pytest.raises(ValueError):
+            SimTrace(tau=0.0)
+
+    def test_len_iter_getitem(self):
+        trace = SimTrace(tau=1.0)
+        trace.append(record(0))
+        assert len(trace) == 1
+        assert list(trace)[0] is trace[0]
+
+
+class TestSummary:
+    def test_energy_reductions(self):
+        trace = SimTrace(tau=2.0)
+        trace.append(record(0, supplied_power=3.0, delivered_power=1.0, wasted_energy=1.5))
+        trace.append(
+            record(
+                1,
+                supplied_power=0.0,
+                delivered_power=2.0,
+                undersupplied_energy=0.5,
+                backlog=4.0,
+            )
+        )
+        s = trace.summary()
+        assert s.duration == 4.0
+        assert s.supplied_energy == pytest.approx(6.0)
+        assert s.used_energy == pytest.approx(6.0)
+        assert s.wasted_energy == pytest.approx(1.5)
+        assert s.undersupplied_energy == pytest.approx(0.5)
+        assert s.energy_utilization == pytest.approx(1.0)
+        assert s.final_backlog == 4.0
+
+    def test_service_ratio(self):
+        trace = SimTrace(tau=1.0)
+        trace.append(record(0, arrivals=4.0, processed=3.0))
+        assert trace.summary().service_ratio == pytest.approx(0.75)
+
+    def test_no_arrivals_is_full_service(self):
+        trace = SimTrace(tau=1.0)
+        trace.append(record(0, arrivals=0.0, processed=0.0))
+        assert trace.summary().service_ratio == 1.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            SimTrace(tau=1.0).summary()

@@ -1,0 +1,206 @@
+"""Schedule: algebra, calculus, shaping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.schedule import Schedule
+from repro.util.timegrid import TimeGrid
+
+
+@pytest.fixture
+def g4() -> TimeGrid:
+    return TimeGrid(period=8.0, tau=2.0)
+
+
+class TestConstruction:
+    def test_round_trip_values(self, g4):
+        s = Schedule(g4, [1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(s.values, [1, 2, 3, 4])
+
+    def test_length_must_match_grid(self, g4):
+        with pytest.raises(ValueError, match="expected 4 values"):
+            Schedule(g4, [1.0, 2.0])
+
+    def test_rejects_non_finite(self, g4):
+        with pytest.raises(ValueError):
+            Schedule(g4, [1.0, float("inf"), 0.0, 0.0])
+        with pytest.raises(ValueError):
+            Schedule(g4, [1.0, float("nan"), 0.0, 0.0])
+
+    def test_values_are_read_only(self, g4):
+        s = Schedule(g4, [1.0, 2.0, 3.0, 4.0])
+        with pytest.raises(ValueError):
+            s.values[0] = 99.0
+
+    def test_constant_and_zeros(self, g4):
+        assert Schedule.constant(g4, 2.5).values.tolist() == [2.5] * 4
+        assert Schedule.zeros(g4).total_energy() == 0.0
+
+    def test_from_function_samples_slot_starts(self, g4):
+        s = Schedule.from_function(g4, lambda t: t * 10)
+        np.testing.assert_allclose(s.values, [0, 20, 40, 60])
+
+
+class TestAccess:
+    def test_call_is_periodic(self, g4):
+        s = Schedule(g4, [1.0, 2.0, 3.0, 4.0])
+        assert s(0.0) == 1.0
+        assert s(2.0) == 2.0
+        assert s(9.0) == 1.0  # wrapped
+        assert s(-1.0) == 4.0
+
+    def test_getitem_wraps(self, g4):
+        s = Schedule(g4, [1.0, 2.0, 3.0, 4.0])
+        assert s[5] == 2.0
+        assert s[-1] == 4.0
+
+    def test_iteration_and_len(self, g4):
+        s = Schedule(g4, [1.0, 2.0, 3.0, 4.0])
+        assert len(s) == 4
+        assert list(s) == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestAlgebra:
+    def test_add_schedules_and_scalars(self, g4):
+        a = Schedule(g4, [1, 2, 3, 4])
+        b = Schedule(g4, [4, 3, 2, 1])
+        np.testing.assert_allclose((a + b).values, [5, 5, 5, 5])
+        np.testing.assert_allclose((a + 1).values, [2, 3, 4, 5])
+        np.testing.assert_allclose((1 + a).values, [2, 3, 4, 5])
+
+    def test_sub_and_rsub(self, g4):
+        a = Schedule(g4, [1, 2, 3, 4])
+        np.testing.assert_allclose((a - 1).values, [0, 1, 2, 3])
+        np.testing.assert_allclose((10 - a).values, [9, 8, 7, 6])
+
+    def test_mul_div_neg(self, g4):
+        a = Schedule(g4, [1, 2, 3, 4])
+        np.testing.assert_allclose((a * 2).values, [2, 4, 6, 8])
+        np.testing.assert_allclose((a / 2).values, [0.5, 1, 1.5, 2])
+        np.testing.assert_allclose((-a).values, [-1, -2, -3, -4])
+
+    def test_division_by_zero_schedule_raises(self, g4):
+        a = Schedule(g4, [1, 2, 3, 4])
+        z = Schedule(g4, [1, 0, 1, 1])
+        with pytest.raises(ZeroDivisionError):
+            a / z
+
+    def test_cross_grid_operations_rejected(self, g4):
+        other = TimeGrid(8.0, 4.0)
+        a = Schedule(g4, [1, 2, 3, 4])
+        b = Schedule(other, [1, 2])
+        with pytest.raises(ValueError, match="different time grids"):
+            a + b
+
+    def test_equality_and_hash(self, g4):
+        a = Schedule(g4, [1, 2, 3, 4])
+        b = Schedule(g4, [1, 2, 3, 4])
+        c = Schedule(g4, [1, 2, 3, 5])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not a schedule"
+
+    def test_allclose(self, g4):
+        a = Schedule(g4, [1, 2, 3, 4])
+        b = a + 1e-12
+        assert a.allclose(b)
+        assert not a.allclose(a + 1)
+
+
+class TestCalculus:
+    def test_full_period_integral(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        assert s.integral() == pytest.approx(20.0)  # (1+2+3+4)·2
+
+    def test_partial_integral_within_slot(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        assert s.integral(0.0, 1.0) == pytest.approx(1.0)
+        assert s.integral(1.0, 3.0) == pytest.approx(1.0 + 2.0)
+
+    def test_integral_wraps_across_period(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        # last slot (4) for 2 s + first slot (1) for 2 s
+        assert s.integral(6.0, 10.0) == pytest.approx(8.0 + 2.0)
+
+    def test_integral_over_multiple_periods(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        assert s.integral(0.0, 24.0) == pytest.approx(3 * 20.0)
+
+    def test_zero_length_interval(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        assert s.integral(3.0, 3.0) == 0.0
+
+    def test_negative_interval_raises(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        with pytest.raises(ValueError):
+            s.integral(5.0, 1.0)
+
+    def test_cumulative_integral(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        np.testing.assert_allclose(
+            s.cumulative_integral(), [2.0, 6.0, 12.0, 20.0]
+        )
+        np.testing.assert_allclose(
+            s.cumulative_integral(10.0), [12.0, 16.0, 22.0, 30.0]
+        )
+
+    def test_mean_and_total_energy(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        assert s.mean() == pytest.approx(2.5)
+        assert s.total_energy() == pytest.approx(20.0)
+
+
+class TestShaping:
+    def test_clip(self, g4):
+        s = Schedule(g4, [-1, 0.5, 2, 5])
+        np.testing.assert_allclose(s.clip(0.0, 3.0).values, [0, 0.5, 2, 3])
+
+    def test_scaled_to_integral(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        scaled = s.scaled_to_integral(40.0)
+        assert scaled.total_energy() == pytest.approx(40.0)
+        # shape preserved
+        np.testing.assert_allclose(scaled.values / s.values, 2.0)
+
+    def test_scaled_to_integral_zero_raises(self, g4):
+        with pytest.raises(ValueError):
+            Schedule.zeros(g4).scaled_to_integral(5.0)
+
+    def test_shifted(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        np.testing.assert_allclose(s.shifted(1).values, [4, 1, 2, 3])
+        np.testing.assert_allclose(s.shifted(-1).values, [2, 3, 4, 1])
+
+    def test_with_slot(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        t = s.with_slot(5, 99.0)  # wraps to slot 1
+        assert t[1] == 99.0
+        assert s[1] == 2.0  # original untouched
+
+    def test_resample_preserves_integral(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        fine = s.resample(TimeGrid(8.0, 1.0))
+        assert fine.total_energy() == pytest.approx(s.total_energy())
+        coarse = s.resample(TimeGrid(8.0, 4.0))
+        assert coarse.total_energy() == pytest.approx(s.total_energy())
+        np.testing.assert_allclose(coarse.values, [1.5, 3.5])
+
+    def test_resample_requires_equal_period(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        with pytest.raises(ValueError, match="equal periods"):
+            s.resample(TimeGrid(10.0, 2.5))
+
+
+class TestWithValues:
+    def test_with_values_keeps_grid(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        t = s.with_values([5, 6, 7, 8])
+        assert t.grid == s.grid
+        np.testing.assert_allclose(t.values, [5, 6, 7, 8])
+
+    def test_with_values_validates_length(self, g4):
+        s = Schedule(g4, [1, 2, 3, 4])
+        with pytest.raises(ValueError):
+            s.with_values([1, 2])

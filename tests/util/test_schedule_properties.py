@@ -1,0 +1,84 @@
+"""Property-based tests for Schedule calculus (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.schedule import Schedule
+from repro.util.timegrid import TimeGrid
+
+values_strategy = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=24,
+)
+
+
+def mk(values: list[float]) -> Schedule:
+    grid = TimeGrid(period=float(len(values)), tau=1.0)
+    return Schedule(grid, values)
+
+
+@given(values_strategy)
+def test_full_period_integral_equals_sum(values):
+    s = mk(values)
+    assert s.integral() == pytest.approx(sum(values), abs=1e-9 * max(1, len(values)))
+
+
+@given(values_strategy, st.floats(min_value=0, max_value=50), st.floats(min_value=0, max_value=50))
+def test_integral_additivity(values, a, b):
+    """∫[t0,t0+a] + ∫[t0+a, t0+a+b] == ∫[t0, t0+a+b] for any split."""
+    s = mk(values)
+    t0 = 0.7
+    left = s.integral(t0, t0 + a)
+    right = s.integral(t0 + a, t0 + a + b)
+    whole = s.integral(t0, t0 + a + b)
+    assert left + right == pytest.approx(whole, abs=1e-7)
+
+
+@given(values_strategy, st.floats(min_value=-10, max_value=10))
+def test_integral_linearity_in_scaling(values, k):
+    s = mk(values)
+    scaled = s * k
+    assert scaled.integral(0.3, len(values) + 0.9) == pytest.approx(
+        k * s.integral(0.3, len(values) + 0.9), abs=1e-6
+    )
+
+
+@given(values_strategy)
+def test_shift_preserves_integral(values):
+    s = mk(values)
+    for shift in (1, len(values) // 2, -1):
+        assert s.shifted(shift).total_energy() == pytest.approx(
+            s.total_energy(), abs=1e-9
+        )
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        min_size=2,
+        max_size=12,
+    ).filter(lambda v: len(v) % 2 == 0)
+)
+def test_resample_round_trip_preserves_energy(values):
+    s = mk(values)
+    coarse = s.resample(TimeGrid(float(len(values)), 2.0))
+    assert coarse.total_energy() == pytest.approx(s.total_energy(), abs=1e-8)
+
+
+@given(values_strategy)
+def test_cumulative_integral_last_equals_total(values):
+    s = mk(values)
+    cum = s.cumulative_integral(5.0)
+    assert cum[-1] == pytest.approx(5.0 + s.total_energy(), abs=1e-8)
+
+
+@given(values_strategy, st.integers(min_value=-30, max_value=30))
+def test_evaluation_is_periodic(values, periods):
+    s = mk(values)
+    t = 0.25
+    assert s(t) == s(t + periods * len(values))

@@ -1,0 +1,101 @@
+"""TimeGrid: construction, wrapping, slot mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.timegrid import TimeGrid
+
+
+class TestConstruction:
+    def test_paper_grid_has_12_slots(self):
+        grid = TimeGrid(period=57.6, tau=4.8)
+        assert grid.n_slots == 12
+
+    def test_single_slot_grid(self):
+        grid = TimeGrid(period=5.0, tau=5.0)
+        assert grid.n_slots == 1
+
+    def test_tau_must_divide_period(self):
+        with pytest.raises(ValueError, match="divide"):
+            TimeGrid(period=10.0, tau=3.0)
+
+    def test_rejects_non_positive_period(self):
+        with pytest.raises(ValueError):
+            TimeGrid(period=0.0, tau=1.0)
+        with pytest.raises(ValueError):
+            TimeGrid(period=-5.0, tau=1.0)
+
+    def test_rejects_non_positive_tau(self):
+        with pytest.raises(ValueError):
+            TimeGrid(period=10.0, tau=0.0)
+
+    def test_is_hashable_and_comparable(self):
+        a = TimeGrid(10.0, 2.5)
+        b = TimeGrid(10.0, 2.5)
+        c = TimeGrid(10.0, 5.0)
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_len_matches_n_slots(self):
+        assert len(TimeGrid(12.0, 3.0)) == 4
+
+
+class TestGeometry:
+    def test_slot_starts(self):
+        grid = TimeGrid(10.0, 2.5)
+        np.testing.assert_allclose(grid.slot_starts(), [0.0, 2.5, 5.0, 7.5])
+
+    def test_slot_edges_include_period_end(self):
+        grid = TimeGrid(10.0, 2.5)
+        np.testing.assert_allclose(grid.slot_edges(), [0.0, 2.5, 5.0, 7.5, 10.0])
+
+    def test_time_of_slot_wraps(self):
+        grid = TimeGrid(10.0, 2.5)
+        assert grid.time_of_slot(5) == 2.5
+        assert grid.time_of_slot(-1) == 7.5
+
+
+class TestWrapping:
+    @pytest.mark.parametrize(
+        "t,expected",
+        [(0.0, 0.0), (4.8, 4.8), (57.6, 0.0), (60.0, 2.4), (-4.8, 52.8)],
+    )
+    def test_wrap(self, t, expected):
+        grid = TimeGrid(57.6, 4.8)
+        assert grid.wrap(t) == pytest.approx(expected)
+
+    def test_wrap_rejects_nan(self):
+        with pytest.raises(ValueError):
+            TimeGrid(10.0, 2.5).wrap(float("nan"))
+
+    def test_slot_of_interior_points(self):
+        grid = TimeGrid(10.0, 2.5)
+        assert grid.slot_of(0.0) == 0
+        assert grid.slot_of(2.4) == 0
+        assert grid.slot_of(2.5) == 1
+        assert grid.slot_of(9.99) == 3
+
+    def test_slot_of_wraps_periods(self):
+        grid = TimeGrid(10.0, 2.5)
+        assert grid.slot_of(10.0) == 0
+        assert grid.slot_of(12.6) == 1
+        assert grid.slot_of(-0.1) == 3
+
+    def test_slot_index_wraps_integers(self):
+        grid = TimeGrid(10.0, 2.5)
+        assert grid.slot_index(4) == 0
+        assert grid.slot_index(-1) == 3
+        assert grid.slot_index(7) == 3
+
+
+class TestIteration:
+    def test_slots_from_covers_period_once(self):
+        grid = TimeGrid(10.0, 2.5)
+        np.testing.assert_array_equal(grid.slots_from(2), [2, 3, 0, 1])
+
+    def test_slots_from_wrapped_start(self):
+        grid = TimeGrid(10.0, 2.5)
+        np.testing.assert_array_equal(grid.slots_from(5), [1, 2, 3, 0])

@@ -1,0 +1,69 @@
+"""Validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    as_float_array,
+    check_finite,
+    check_finite_array,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestScalarChecks:
+    def test_check_positive_accepts_and_returns(self):
+        assert check_positive("x", 2) == 2.0
+
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf")])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0) == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1e-9)
+
+    def test_check_in_range_inclusive(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+        with pytest.raises(ValueError):
+            check_in_range("x", 2.1, 1.0, 2.0)
+
+    def test_check_in_range_exclusive(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 1.0, 2.0, inclusive=False)
+        assert check_in_range("x", 1.5, 1.0, 2.0, inclusive=False) == 1.5
+
+    def test_check_finite(self):
+        assert check_finite("x", -3.5) == -3.5
+        with pytest.raises(ValueError):
+            check_finite("x", float("inf"))
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+
+class TestArrayChecks:
+    def test_check_finite_array(self):
+        arr = check_finite_array("a", [1, 2, 3])
+        assert arr.dtype == float
+        with pytest.raises(ValueError):
+            check_finite_array("a", [1.0, float("nan")])
+
+    def test_as_float_array_copies(self):
+        src = np.array([1.0, 2.0])
+        out = as_float_array(src)
+        out[0] = 99
+        assert src[0] == 1.0
+
+    def test_as_float_array_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_float_array(np.zeros((2, 2)))

@@ -1,0 +1,78 @@
+"""Communication-aware task timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.ring import RingNetwork
+from repro.workloads.comm import CommAwareTask, ring_hop_cost
+from repro.workloads.taskgraph import fft_task_graph
+
+
+@pytest.fixture
+def task() -> CommAwareTask:
+    return CommAwareTask(
+        graph=fft_task_graph(2048, serial_fraction=0.10),
+        f_ref=20e6,
+        comm_hop_s=0.05,
+    )
+
+
+class TestRingHopCost:
+    def test_scatter_plus_gather(self):
+        ring = RingNetwork(8, hop_latency_s=1e-3, bandwidth_bytes_per_s=1e6)
+        cost = ring_hop_cost(ring, payload_bytes=1000)
+        assert cost == pytest.approx(2 * (1e-3 + 1e-3))
+
+    def test_zero_payload(self):
+        ring = RingNetwork(8, hop_latency_s=1e-3)
+        assert ring_hop_cost(ring, 0) == pytest.approx(2e-3)
+
+
+class TestCommAwareTiming:
+    def test_free_comm_matches_plain_graph(self):
+        task = CommAwareTask(fft_task_graph(2048), f_ref=20e6, comm_hop_s=0.0)
+        for n in (1, 3, 7):
+            assert task.execution_time(n, 80e6) == pytest.approx(
+                task.graph.execution_time(n, 80e6)
+            )
+
+    def test_single_worker_pays_no_comm(self, task):
+        assert task.execution_time(1, 20e6) == pytest.approx(
+            task.graph.execution_time(1, 20e6)
+        )
+
+    def test_comm_is_clock_independent(self, task):
+        comm_20 = task.execution_time(4, 20e6) - task.graph.execution_time(4, 20e6)
+        comm_80 = task.execution_time(4, 80e6) - task.graph.execution_time(4, 80e6)
+        assert comm_20 == pytest.approx(comm_80) == pytest.approx(3 * 0.05)
+
+    def test_optimal_workers_interior_with_comm(self):
+        """Heavy communication caps the useful pool below n_max."""
+        heavy = CommAwareTask(fft_task_graph(2048), f_ref=20e6, comm_hop_s=0.3)
+        n_opt = heavy.optimal_workers(80e6, n_max=7)
+        assert 1 <= n_opt < 7
+        # and free communication always wants everything
+        free = CommAwareTask(fft_task_graph(2048), f_ref=20e6, comm_hop_s=0.0)
+        assert free.optimal_workers(80e6, n_max=7) == 7
+
+    def test_optimal_shrinks_at_higher_clock(self):
+        """Faster compute makes the (fixed) communication relatively more
+        expensive, so the optimal pool shrinks or holds as f rises."""
+        task = CommAwareTask(fft_task_graph(2048), f_ref=20e6, comm_hop_s=0.1)
+        assert task.optimal_workers(80e6, 7) <= task.optimal_workers(20e6, 7)
+
+    def test_speedup_can_fall_below_one(self):
+        pathological = CommAwareTask(
+            fft_task_graph(2048), f_ref=20e6, comm_hop_s=10.0
+        )
+        assert pathological.speedup(7, 80e6) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommAwareTask(fft_task_graph(2048), f_ref=0.0, comm_hop_s=0.1)
+        with pytest.raises(ValueError):
+            CommAwareTask(fft_task_graph(2048), f_ref=20e6, comm_hop_s=-1.0)
+        task = CommAwareTask(fft_task_graph(2048), f_ref=20e6, comm_hop_s=0.1)
+        with pytest.raises(ValueError):
+            task.optimal_workers(80e6, n_max=0)

@@ -1,0 +1,127 @@
+"""Fixed-point FFT: correctness vs numpy and the cycle model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.fft import (
+    FFT_CAL_CYCLES,
+    FFT_CAL_SIZE,
+    FftWorkUnit,
+    bit_reverse_permutation,
+    fft_cycles,
+    fft_q15,
+    fft_q15_to_complex,
+    twiddle_table_q15,
+)
+from repro.workloads.fixedpoint import from_q15, to_q15
+
+
+class TestBitReverse:
+    def test_size_8(self):
+        np.testing.assert_array_equal(
+            bit_reverse_permutation(8), [0, 4, 2, 6, 1, 5, 3, 7]
+        )
+
+    def test_is_an_involution(self):
+        perm = bit_reverse_permutation(64)
+        np.testing.assert_array_equal(perm[perm], np.arange(64))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            bit_reverse_permutation(12)
+        with pytest.raises(ValueError):
+            bit_reverse_permutation(1)
+
+
+class TestTwiddles:
+    def test_q15_quantized_unit_circle(self):
+        cos_t, sin_t = twiddle_table_q15(16)
+        mags = from_q15(cos_t) ** 2 + from_q15(sin_t) ** 2
+        np.testing.assert_allclose(mags, 1.0, atol=2e-4)
+
+    def test_first_twiddle_is_one(self):
+        cos_t, sin_t = twiddle_table_q15(16)
+        assert from_q15(cos_t[0]) == pytest.approx(1.0, abs=1e-4)
+        assert sin_t[0] == 0
+
+
+class TestTransform:
+    @pytest.mark.parametrize("n", [8, 32, 256, 2048])
+    def test_matches_numpy_on_random_input(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.uniform(-0.9, 0.9, n)
+        q = to_q15(x)
+        ours = fft_q15_to_complex(q)
+        ref = np.fft.fft(from_q15(q))
+        scale = np.max(np.abs(ref)) or 1.0
+        assert np.max(np.abs(ours - ref)) / scale < 0.02
+
+    def test_dc_input(self):
+        n = 64
+        q = to_q15(np.full(n, 0.5))
+        spectrum = fft_q15_to_complex(q)
+        assert spectrum[0].real == pytest.approx(0.5 * n, rel=1e-3)
+        assert np.max(np.abs(spectrum[1:])) < 0.05 * n
+
+    def test_impulse_is_flat(self):
+        n = 64
+        x = np.zeros(n)
+        x[0] = 0.9
+        spectrum = fft_q15_to_complex(to_q15(x))
+        np.testing.assert_allclose(np.abs(spectrum), 0.9, atol=0.05)
+
+    def test_pure_tone_concentrates_energy(self):
+        n = 256
+        k = 19
+        x = 0.8 * np.sin(2 * np.pi * k * np.arange(n) / n)
+        spectrum = np.abs(fft_q15_to_complex(to_q15(x)))
+        assert int(np.argmax(spectrum[: n // 2])) == k
+
+    def test_scale_exponent_is_log2n(self):
+        n = 128
+        _, _, scale = fft_q15(to_q15(np.zeros(n)))
+        assert scale == 7
+
+    def test_complex_input_supported(self):
+        n = 32
+        rng = np.random.default_rng(5)
+        re = rng.uniform(-0.5, 0.5, n)
+        im = rng.uniform(-0.5, 0.5, n)
+        ours = fft_q15_to_complex(to_q15(re), to_q15(im))
+        ref = np.fft.fft(from_q15(to_q15(re)) + 1j * from_q15(to_q15(im)))
+        assert np.max(np.abs(ours - ref)) / (np.max(np.abs(ref)) or 1) < 0.02
+
+    def test_mismatched_parts_rejected(self):
+        with pytest.raises(ValueError):
+            fft_q15(to_q15(np.zeros(8)), to_q15(np.zeros(4)))
+
+    def test_input_not_modified(self):
+        q = to_q15(np.linspace(-0.5, 0.5, 16))
+        snapshot = q.copy()
+        fft_q15(q)
+        np.testing.assert_array_equal(q, snapshot)
+
+
+class TestCycleModel:
+    def test_calibration_point(self):
+        # 2K FFT at 20 MHz = 4.8 s ⇒ 96 M cycles
+        assert fft_cycles(FFT_CAL_SIZE) == FFT_CAL_CYCLES == 96e6
+
+    def test_nlogn_scaling(self):
+        ratio = fft_cycles(4096) / fft_cycles(2048)
+        assert ratio == pytest.approx(2 * 12 / 11)
+
+    def test_work_unit_seconds(self):
+        unit = FftWorkUnit(2048)
+        assert unit.seconds_at(20e6) == pytest.approx(4.8)
+        assert unit.seconds_at(80e6) == pytest.approx(1.2)
+        with pytest.raises(ValueError):
+            unit.seconds_at(0.0)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            fft_cycles(1000)
+        with pytest.raises(ValueError):
+            FftWorkUnit(3)

@@ -1,0 +1,66 @@
+"""Property-based FFT checks (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.workloads.fft import fft_q15_to_complex
+from repro.workloads.fixedpoint import from_q15, to_q15
+
+sizes = st.sampled_from([8, 16, 32, 64, 128])
+
+
+def signal(n):
+    return arrays(
+        np.float64,
+        (n,),
+        elements=st.floats(min_value=-0.9, max_value=0.9, allow_nan=False),
+    )
+
+
+@given(sizes.flatmap(signal))
+@settings(max_examples=40, deadline=None)
+def test_error_vs_numpy_bounded(x):
+    q = to_q15(x)
+    ours = fft_q15_to_complex(q)
+    ref = np.fft.fft(from_q15(q))
+    # absolute error bound: per-stage rounding accumulates ~O(N·LSB)
+    n = x.size
+    bound = 3e-4 * n + 0.02
+    assert np.max(np.abs(ours - ref)) <= bound
+
+
+@given(sizes.flatmap(signal))
+@settings(max_examples=30, deadline=None)
+def test_parseval_energy_ratio(x):
+    """Energy in the spectrum tracks N × energy in the signal."""
+    q = to_q15(x)
+    xf = from_q15(q)
+    spectrum = fft_q15_to_complex(q)
+    sig_energy = float(np.sum(xf**2))
+    spec_energy = float(np.sum(np.abs(spectrum) ** 2)) / x.size
+    assert spec_energy == pytest.approx(sig_energy, abs=0.05 + 0.1 * sig_energy)
+
+
+@given(sizes.flatmap(signal), st.floats(min_value=-1.0, max_value=1.0))
+@settings(max_examples=30, deadline=None)
+def test_approximate_linearity_in_scaling(x, k):
+    """FFT(k·x) ≈ k·FFT(x) up to quantization."""
+    q1 = to_q15(x)
+    q2 = to_q15(np.clip(k * x, -0.999, 0.999))
+    f1 = fft_q15_to_complex(q1)
+    f2 = fft_q15_to_complex(q2)
+    assert np.max(np.abs(f2 - k * f1)) <= 0.03 * x.size + 0.05
+
+
+@given(sizes.flatmap(signal))
+@settings(max_examples=30, deadline=None)
+def test_real_input_spectrum_is_conjugate_symmetric(x):
+    spectrum = fft_q15_to_complex(to_q15(x))
+    n = x.size
+    sym = np.conj(spectrum[(n - np.arange(1, n)) % n])
+    assert np.max(np.abs(spectrum[1:] - sym)) <= 3e-4 * n + 0.02

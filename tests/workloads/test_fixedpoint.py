@@ -1,0 +1,93 @@
+"""Q15 fixed-point primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.fixedpoint import (
+    Q15_MAX,
+    Q15_MIN,
+    Q15_ONE,
+    from_q15,
+    q15_add,
+    q15_mul,
+    q15_neg,
+    q15_shr,
+    q15_sub,
+    to_q15,
+)
+
+
+class TestConversion:
+    def test_round_trip_error_within_half_lsb(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-0.999, 0.999, 1000)
+        err = np.abs(from_q15(to_q15(x)) - x)
+        assert err.max() <= 0.5 / Q15_ONE + 1e-12
+
+    def test_saturation_at_plus_one(self):
+        assert to_q15(1.0) == Q15_MAX
+        assert to_q15(5.0) == Q15_MAX
+        assert to_q15(-1.0) == Q15_MIN
+        assert to_q15(-5.0) == Q15_MIN
+
+    def test_exact_values(self):
+        assert to_q15(0.0) == 0
+        assert to_q15(0.5) == Q15_ONE // 2
+        assert from_q15(Q15_MIN) == -1.0
+
+
+class TestArithmetic:
+    def test_add_and_sub_are_exact_in_range(self):
+        a, b = to_q15(0.25), to_q15(0.5)
+        assert from_q15(q15_add(a, b)) == pytest.approx(0.75)
+        assert from_q15(q15_sub(b, a)) == pytest.approx(0.25)
+
+    def test_add_saturates(self):
+        big = to_q15(0.9)
+        assert q15_add(big, big) == Q15_MAX
+        neg = to_q15(-0.9)
+        assert q15_add(neg, neg) == Q15_MIN
+
+    def test_mul_matches_float_within_lsb(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(-1, 1, 500)
+        b = rng.uniform(-1, 1, 500)
+        qa, qb = to_q15(a), to_q15(b)
+        got = from_q15(q15_mul(qa, qb))
+        want = from_q15(qa) * from_q15(qb)
+        assert np.abs(got - want).max() <= 1.0 / Q15_ONE
+
+    def test_mul_identity_elements(self):
+        x = to_q15(0.37)
+        assert q15_mul(x, 0) == 0
+        # Q15_MAX is "almost 1": product within one LSB of x
+        assert abs(int(q15_mul(x, Q15_MAX)) - int(x)) <= 1
+
+    def test_neg_saturates_minus_one(self):
+        assert q15_neg(Q15_MIN) == Q15_MAX
+        assert q15_neg(to_q15(0.5)) == to_q15(-0.5)
+
+    def test_shr_is_rounded_halving(self):
+        assert q15_shr(np.int32(9), 1) == 5  # round half up
+        assert q15_shr(np.int32(8), 1) == 4
+        assert q15_shr(np.int32(8), 0) == 8
+        with pytest.raises(ValueError):
+            q15_shr(np.int32(8), -1)
+
+    def test_vectorized_shapes_preserved(self):
+        a = to_q15(np.zeros((8,)))
+        assert q15_add(a, a).shape == (8,)
+        assert q15_mul(a, a).dtype == np.int32
+
+
+class TestSaturate:
+    def test_q15_saturate_bounds(self):
+        from repro.workloads.fixedpoint import q15_saturate
+
+        wide = np.array([100000, -100000, 0, 5000], dtype=np.int64)
+        out = q15_saturate(wide)
+        assert out.max() == Q15_MAX
+        assert out.min() == Q15_MIN
+        assert out[2] == 0 and out[3] == 5000

@@ -1,0 +1,96 @@
+"""FORTE detection pipeline: trigger, classify, costs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.forte import (
+    ForteConfig,
+    ForteDetector,
+    synth_noise,
+    synth_transient,
+)
+
+
+@pytest.fixture
+def detector() -> ForteDetector:
+    return ForteDetector(ForteConfig(n_points=512))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ForteConfig(n_points=500)
+        with pytest.raises(ValueError):
+            ForteConfig(trigger_threshold=0.0)
+        with pytest.raises(ValueError):
+            ForteConfig(band=(0.5, 0.4))
+        with pytest.raises(ValueError):
+            ForteConfig(band_ratio=0.5)
+
+
+class TestPipeline:
+    def test_quiet_noise_does_not_trigger(self, detector):
+        rng = np.random.default_rng(0)
+        result = detector.process(synth_noise(512, amplitude=0.03, rng=rng))
+        assert not result.triggered
+        assert not result.interesting
+        assert result.cycles == detector.trigger_cycles
+
+    def test_transient_detected_as_interesting(self, detector):
+        rng = np.random.default_rng(1)
+        signal = synth_transient(512, center=0.2, amplitude=0.7, rng=rng)
+        result = detector.process(signal)
+        assert result.triggered
+        assert result.interesting
+        assert result.band_energy_ratio >= detector.config.band_ratio
+        assert result.cycles == detector.cycles_per_event
+
+    def test_loud_broadband_noise_triggers_but_rejected(self, detector):
+        """A hot wideband burst fires the threshold but fails the in-band
+        concentration test — the FORTE 'uninteresting event' path."""
+        rng = np.random.default_rng(2)
+        burst = np.clip(rng.normal(0.0, 0.3, 512), -0.95, 0.95)
+        result = detector.process(burst)
+        assert result.triggered
+        assert not result.interesting
+
+    def test_out_of_band_tone_rejected(self, detector):
+        """A strong tone outside the configured band triggers the
+        front-end but is not an interesting event."""
+        n = 512
+        t = np.arange(n)
+        tone = 0.7 * np.sin(2 * np.pi * 0.45 * t)  # near Nyquist, band is 10–35%
+        result = detector.process(tone)
+        assert result.triggered
+        assert not result.interesting
+
+    def test_window_size_enforced(self, detector):
+        with pytest.raises(ValueError):
+            detector.process(np.zeros(100))
+
+    def test_cycle_costs_ordered(self, detector):
+        assert detector.trigger_cycles < detector.cycles_per_event
+
+
+class TestSynthesis:
+    def test_transient_louder_than_noise(self):
+        rng = np.random.default_rng(3)
+        s = synth_transient(512, amplitude=0.6, noise=0.02, rng=rng)
+        n = synth_noise(512, amplitude=0.02, rng=rng)
+        assert np.abs(s).max() > 3 * np.abs(n).max()
+
+    def test_samples_within_q15_range(self):
+        rng = np.random.default_rng(4)
+        for sig in (synth_transient(256, rng=rng), synth_noise(256, rng=rng)):
+            assert np.all(np.abs(sig) < 1.0)
+
+    def test_center_validated(self):
+        with pytest.raises(ValueError):
+            synth_transient(256, center=1.5)
+
+    def test_seeded_reproducibility(self):
+        a = synth_transient(256, rng=np.random.default_rng(7))
+        b = synth_transient(256, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)

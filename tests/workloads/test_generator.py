@@ -1,0 +1,87 @@
+"""Event arrival generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.events import constant_rate
+from repro.util.timegrid import TimeGrid
+from repro.workloads.generator import (
+    EventTrace,
+    bursty_trace,
+    expected_counts,
+    poisson_trace,
+)
+
+
+@pytest.fixture
+def rate():
+    return constant_rate(TimeGrid(57.6, 4.8), 2.0)
+
+
+class TestEventTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventTrace(np.array([[1, 2]]), tau=1.0)
+        with pytest.raises(ValueError):
+            EventTrace(np.array([1, -2]), tau=1.0)
+
+    def test_totals_and_rates(self):
+        trace = EventTrace(np.array([2, 4, 0]), tau=2.0)
+        assert trace.total_events == 6
+        assert trace.n_slots == 3
+        np.testing.assert_allclose(trace.rates(), [1.0, 2.0, 0.0])
+
+
+class TestExpected:
+    def test_counts_are_rate_times_tau(self, rate):
+        trace = expected_counts(rate)
+        np.testing.assert_allclose(trace.counts, 9.6)
+        assert trace.n_slots == 12
+
+    def test_multi_period_tiling(self, rate):
+        trace = expected_counts(rate, n_periods=3)
+        assert trace.n_slots == 36
+
+    def test_period_validation(self, rate):
+        with pytest.raises(ValueError):
+            expected_counts(rate, n_periods=0)
+
+
+class TestPoisson:
+    def test_seeded_reproducibility(self, rate):
+        a = poisson_trace(rate, seed=42)
+        b = poisson_trace(rate, seed=42)
+        np.testing.assert_array_equal(a.counts, b.counts)
+        c = poisson_trace(rate, seed=43)
+        assert not np.array_equal(a.counts, c.counts)
+
+    def test_mean_tracks_schedule(self, rate):
+        trace = poisson_trace(rate, n_periods=200, seed=0)
+        assert trace.counts.mean() == pytest.approx(9.6, rel=0.05)
+
+    def test_counts_are_integers(self, rate):
+        trace = poisson_trace(rate, seed=1)
+        assert np.issubdtype(trace.counts.dtype, np.integer)
+
+
+class TestBursty:
+    def test_bursts_raise_total(self, rate):
+        plain = poisson_trace(rate, n_periods=100, seed=5)
+        bursty = bursty_trace(
+            rate, n_periods=100, burst_factor=5.0, burst_probability=0.3, seed=5
+        )
+        assert bursty.total_events > plain.total_events
+
+    def test_zero_probability_matches_poisson_mean(self, rate):
+        bursty = bursty_trace(
+            rate, n_periods=100, burst_probability=0.0, seed=9
+        )
+        assert bursty.counts.mean() == pytest.approx(9.6, rel=0.1)
+
+    def test_validation(self, rate):
+        with pytest.raises(ValueError):
+            bursty_trace(rate, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            bursty_trace(rate, burst_probability=1.5)

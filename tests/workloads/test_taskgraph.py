@@ -1,0 +1,80 @@
+"""Serial–parallel–serial task graphs (Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.taskgraph import TaskGraph, fft_task_graph
+from repro.models.voltage import FixedVoltageVFMap
+
+
+@pytest.fixture
+def graph() -> TaskGraph:
+    return TaskGraph(head_cycles=10e6, parallel_cycles=80e6, tail_cycles=10e6)
+
+
+class TestStructure:
+    def test_serial_and_total(self, graph):
+        assert graph.serial_cycles == 20e6
+        assert graph.total_cycles == 100e6
+        assert graph.serial_fraction == pytest.approx(0.2)
+
+    def test_no_work_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph(0, 0, 0)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph(-1, 10, 0)
+
+
+class TestExecution:
+    def test_single_processor_is_total(self, graph):
+        assert graph.execution_cycles(1) == graph.total_cycles
+
+    def test_amdahl_shape(self, graph):
+        assert graph.execution_cycles(4) == pytest.approx(20e6 + 20e6)
+        assert graph.speedup(4) == pytest.approx(100 / 40)
+
+    def test_speedup_bounded_by_serial_fraction(self, graph):
+        assert graph.speedup(10_000) < 1 / graph.serial_fraction
+
+    def test_execution_time_scales_with_frequency(self, graph):
+        t20 = graph.execution_time(2, 20e6)
+        t80 = graph.execution_time(2, 80e6)
+        assert t20 == pytest.approx(4 * t80)
+
+    def test_invalid_inputs(self, graph):
+        with pytest.raises(ValueError):
+            graph.execution_cycles(0)
+        with pytest.raises(ValueError):
+            graph.execution_time(1, 0.0)
+
+
+class TestBridge:
+    def test_to_performance_model_round_trip(self, graph, fixed_vf):
+        m = graph.to_performance_model(20e6, fixed_vf)
+        assert m.t_total == pytest.approx(5.0)
+        assert m.t_serial == pytest.approx(1.0)
+        # model task time equals graph execution time at any (n, f)
+        for n in (1, 2, 7):
+            for f in (20e6, 80e6):
+                assert m.task_time(n, f) == pytest.approx(
+                    graph.execution_time(n, f)
+                )
+
+
+class TestFftGraph:
+    def test_calibrated_to_paper_point(self, fixed_vf):
+        g = fft_task_graph(2048, serial_fraction=0.10)
+        m = g.to_performance_model(20e6, fixed_vf)
+        assert m.task_time(1, 20e6) == pytest.approx(4.8)
+        assert g.serial_fraction == pytest.approx(0.10)
+
+    def test_head_tail_split_evenly(self):
+        g = fft_task_graph(2048, serial_fraction=0.2)
+        assert g.head_cycles == pytest.approx(g.tail_cycles)
+
+    def test_serial_fraction_validated(self):
+        with pytest.raises(ValueError):
+            fft_task_graph(2048, serial_fraction=1.0)
