@@ -9,37 +9,40 @@ waste near zero until the battery is too small for feasibility at all.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from conftest import emit
 
-from repro.analysis.energy import run_demand_follower, run_managed
 from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep_knob
 from repro.models.battery import BatterySpec
 from repro.scenarios.paper import C_MAX_J, C_MIN_J, PaperScenario
 
 CAPACITY_FACTORS = [0.25, 0.5, 1.0, 2.0, 4.0]
 
 
+def with_capacity(sc: PaperScenario, factor: float) -> PaperScenario:
+    spec = BatterySpec(
+        c_max=C_MIN_J + (C_MAX_J - C_MIN_J) * factor,
+        c_min=C_MIN_J,
+        initial=C_MIN_J,
+    )
+    return PaperScenario(
+        name=sc.name,
+        charging=sc.charging,
+        event_demand=sc.event_demand,
+        spec=spec,
+    )
+
+
 def sweep(sc1, frontier):
+    cells = sweep_knob(sc1, frontier, CAPACITY_FACTORS, with_capacity, n_periods=2)
+    by_cell = {(c.knob, c.policy): c.result for c in cells}
     rows = []
     for factor in CAPACITY_FACTORS:
-        spec = BatterySpec(
-            c_max=C_MIN_J + (C_MAX_J - C_MIN_J) * factor,
-            c_min=C_MIN_J,
-            initial=C_MIN_J,
-        )
-        scenario = PaperScenario(
-            name=sc1.name,
-            charging=sc1.charging,
-            event_demand=sc1.event_demand,
-            spec=spec,
-        )
-        managed = run_managed(scenario, frontier, n_periods=2)
-        static = run_demand_follower(scenario, n_periods=2)
+        managed = by_cell[(factor, "proposed")]
+        static = by_cell[(factor, "static")]
         rows.append(
             (
-                round(spec.c_max, 2),
+                round(C_MIN_J + (C_MAX_J - C_MIN_J) * factor, 2),
                 managed.wasted,
                 static.wasted,
                 managed.undersupplied,

@@ -15,32 +15,37 @@ from __future__ import annotations
 
 from conftest import emit
 
-from repro.analysis.energy import run_demand_follower, run_managed
 from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep_knob
 from repro.models.battery import BatterySpec
 from repro.scenarios.paper import C_MAX_J, C_MIN_J, PaperScenario
 
 EFFICIENCIES = [1.0, 0.95, 0.85, 0.7]
 
 
+def with_efficiency(sc: PaperScenario, eta: float) -> PaperScenario:
+    spec = BatterySpec(
+        c_max=C_MAX_J,
+        c_min=C_MIN_J,
+        initial=C_MIN_J,
+        charge_efficiency=eta,
+        discharge_efficiency=eta,
+    )
+    return PaperScenario(
+        name=sc.name,
+        charging=sc.charging,
+        event_demand=sc.event_demand,
+        spec=spec,
+    )
+
+
 def sweep(sc1, frontier):
+    cells = sweep_knob(sc1, frontier, EFFICIENCIES, with_efficiency, n_periods=2)
+    by_cell = {(c.knob, c.policy): c.result for c in cells}
     rows = []
     for eta in EFFICIENCIES:
-        spec = BatterySpec(
-            c_max=C_MAX_J,
-            c_min=C_MIN_J,
-            initial=C_MIN_J,
-            charge_efficiency=eta,
-            discharge_efficiency=eta,
-        )
-        scenario = PaperScenario(
-            name=sc1.name,
-            charging=sc1.charging,
-            event_demand=sc1.event_demand,
-            spec=spec,
-        )
-        managed = run_managed(scenario, frontier, n_periods=2)
-        static = run_demand_follower(scenario, n_periods=2)
+        managed = by_cell[(eta, "proposed")]
+        static = by_cell[(eta, "static")]
         rows.append(
             (
                 eta,

@@ -1,0 +1,173 @@
+"""Parallel batch runner vs. the serial sweep — the speedup artifact.
+
+Runs one ≥24-cell grid (scenarios × supply-factor knob × policy) both ways:
+
+* **serial** — the legacy path: every cell evaluated in-process with the
+  allocation memo disabled, so each cell re-plans from scratch exactly as
+  ``sweep_scenarios`` did before the batch runner existed;
+* **parallel** — ``run_grid`` with 4 workers: unique scenario plans are
+  computed once in the parent, shipped to the workers, and every cell's
+  Algorithm-1 lookup hits the content-addressed memo.
+
+The grid deliberately includes battery-tight scenario variants whose
+allocation iterates to the greedy fallback — the planning-heavy regime the
+memo exists for.  Writes ``BENCH_parallel_sweep.json`` next to the repo
+root with both wall times, the speedup, the cache hit rate, and the
+row-identity verdict; asserts the contract the batch subsystem promises:
+bit-identical rows, hit rate > 0, and ≥ 2× speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import emit
+
+from repro.analysis.batch import CellSpec, run_grid
+from repro.core.allocation import clear_allocation_cache
+from repro.models.battery import BatterySpec
+from repro.scenarios.paper import PaperScenario, pama_frontier, scenario1, scenario2
+
+N_WORKERS = 4
+N_PERIODS = 1
+SUPPLY_FACTORS = [round(1.0 - 0.025 * k, 3) for k in range(16)]
+CAPACITY_FACTORS = [0.5, 0.4, 0.3, 0.25]  # battery-tight (fallback-planning) variants
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel_sweep.json"
+
+
+def _tight(base: PaperScenario, capacity_factor: float) -> PaperScenario:
+    """A battery-tight variant: same schedules, shrunken capacity window."""
+    spec = BatterySpec(
+        c_max=base.spec.c_max * capacity_factor,
+        c_min=base.spec.c_min,
+        initial=base.spec.c_min,
+    )
+    return PaperScenario(
+        name=f"{base.name}-cap{capacity_factor}",
+        charging=base.charging,
+        event_demand=base.event_demand,
+        spec=spec,
+    )
+
+
+def build_grid() -> list[CellSpec]:
+    """6 scenarios × 16 supply factors × 2 policies = 192 cells.
+
+    Cells of one scenario are adjacent so worker chunks inherit allocation-
+    cache locality; the supply factor leaves the planning problem untouched,
+    which is exactly the redundancy the memo removes.  The tight-battery
+    variants spend most of their cell time in Algorithm-1 iteration plus the
+    greedy fallback, the planning-heavy regime large characterization
+    sweeps live in.
+    """
+    scenarios = [scenario1(), scenario2()] + [
+        _tight(scenario2(), f) for f in CAPACITY_FACTORS
+    ]
+    return [
+        CellSpec(
+            scenario=sc,
+            policy=policy,
+            knob=factor,
+            n_periods=N_PERIODS,
+            supply_factor=factor,
+        )
+        for sc in scenarios
+        for factor in SUPPLY_FACTORS
+        for policy in ("proposed", "static")
+    ]
+
+
+def _rows_bit_identical(serial, parallel) -> bool:
+    if len(serial.outcomes) != len(parallel.outcomes):
+        return False
+    for a, b in zip(serial.cells, parallel.cells):
+        if a.row() != b.row():
+            return False
+        if not np.array_equal(a.result.delivered_power, b.result.delivered_power):
+            return False
+        if not np.array_equal(a.result.battery_level, b.result.battery_level):
+            return False
+        if not np.array_equal(a.result.used_power, b.result.used_power):
+            return False
+    return True
+
+
+def run_comparison():
+    frontier = pama_frontier()
+    cells = build_grid()
+
+    clear_allocation_cache()
+    serial = run_grid(cells, frontier, n_workers=None, cache=False)
+
+    clear_allocation_cache()
+    parallel = run_grid(cells, frontier, n_workers=N_WORKERS, cache=True)
+
+    return cells, serial, parallel
+
+
+def bench_parallel_sweep(frontier):
+    cells, serial, parallel = run_comparison()
+    speedup = serial.wall_s / parallel.wall_s
+    identical = _rows_bit_identical(serial, parallel)
+
+    report = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "grid": {
+            "n_cells": len(cells),
+            "scenarios": sorted({c.scenario.name for c in cells}),
+            "policies": sorted({c.policy for c in cells}),
+            "supply_factors": SUPPLY_FACTORS,
+            "n_periods": N_PERIODS,
+        },
+        "serial": {
+            "wall_s": serial.wall_s,
+            "n_workers": serial.n_workers,
+            "cache_enabled": serial.cache_enabled,
+        },
+        "parallel": {
+            "wall_s": parallel.wall_s,
+            "warm_s": parallel.warm_s,
+            "n_workers": parallel.n_workers,
+            "chunksize": parallel.chunksize,
+            "cache_enabled": parallel.cache_enabled,
+            "cache_hits": parallel.cache_hits,
+            "cache_misses": parallel.cache_misses,
+            "cache_hit_rate": parallel.cache_hit_rate,
+        },
+        "speedup": speedup,
+        "rows_bit_identical": identical,
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    emit(
+        "Parallel sweep — {n} cells, {w} workers\n"
+        "  serial (uncached): {s:.3f} s\n"
+        "  parallel (cached): {p:.3f} s  (warm {warm:.3f} s)\n"
+        "  speedup: {x:.2f}x · cache hit rate {hr:.2f} "
+        "({h} hits / {m} misses)\n"
+        "  rows bit-identical: {ident}\n"
+        "  report: {path}".format(
+            n=len(cells),
+            w=N_WORKERS,
+            s=serial.wall_s,
+            p=parallel.wall_s,
+            warm=parallel.warm_s,
+            x=speedup,
+            hr=parallel.cache_hit_rate,
+            h=parallel.cache_hits,
+            m=parallel.cache_misses,
+            ident=identical,
+            path=REPORT_PATH.name,
+        )
+    )
+
+    assert identical, "parallel rows must be bit-identical to serial rows"
+    assert parallel.cache_hit_rate > 0, "the allocation memo never hit"
+    assert speedup >= 2.0, (
+        f"parallel sweep only {speedup:.2f}x faster than serial "
+        f"({serial.wall_s:.3f}s -> {parallel.wall_s:.3f}s)"
+    )

@@ -11,19 +11,25 @@ from __future__ import annotations
 
 from conftest import emit
 
+from repro.analysis.batch import CellSpec, run_grid
 from repro.analysis.report import format_table
-from repro.analysis.sweep import sweep_scenarios
 from repro.scenarios.library import library_scenarios
 from repro.scenarios.paper import paper_scenarios
 
 
 def run_sweep(frontier):
     scenarios = list(paper_scenarios()) + list(library_scenarios())
-    return sweep_scenarios(scenarios, frontier, n_periods=2)
+    cells = [
+        CellSpec(scenario=sc, policy=policy, n_periods=2)
+        for sc in scenarios
+        for policy in ("proposed", "static")
+    ]
+    return run_grid(cells, frontier)
 
 
 def bench_scenario_library(benchmark, frontier):
-    cells = benchmark(run_sweep, frontier)
+    report = benchmark(run_sweep, frontier)
+    cells = report.cells
     emit(
         format_table(
             ["scenario", "policy", "wasted (J)", "undersupplied (J)", "utilization"],
@@ -34,6 +40,8 @@ def bench_scenario_library(benchmark, frontier):
             ],
             title="Generalization — proposed vs. static across the scenario library",
         )
+        + f"\ngrid wall {report.wall_s:.3f} s · allocation cache "
+        f"{report.cache_hits} hits / {report.cache_misses} misses"
     )
     by_key = {(c.scenario, c.policy): c.result for c in cells}
     scenarios = {c.scenario for c in cells}

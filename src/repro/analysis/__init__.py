@@ -15,6 +15,15 @@ from .figures import FigureData, figure3, figure4, scenario_figure
 from .asciiplot import Series, ascii_plot, step_series
 from .report import ComparisonRow, format_comparison, format_table
 from .stats import SeedSummary, bootstrap_ci, compare_over_seeds, summarize_over_seeds
+from .batch import (
+    CellMetrics,
+    CellOutcome,
+    CellSpec,
+    SweepReport,
+    register_policy,
+    run_cell,
+    run_grid,
+)
 from .sweep import SweepCell, sweep_knob, sweep_scenarios
 from .export import (
     allocation_table_csv,
@@ -54,6 +63,13 @@ __all__ = [
     "SweepCell",
     "sweep_scenarios",
     "sweep_knob",
+    "CellSpec",
+    "CellMetrics",
+    "CellOutcome",
+    "SweepReport",
+    "register_policy",
+    "run_cell",
+    "run_grid",
     "SeedSummary",
     "bootstrap_ci",
     "summarize_over_seeds",

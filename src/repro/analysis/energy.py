@@ -31,6 +31,7 @@ from ..util.schedule import Schedule
 
 __all__ = [
     "EnergyRunResult",
+    "build_manager",
     "run_demand_follower",
     "run_managed",
     "compare_policies",
@@ -52,6 +53,9 @@ class EnergyRunResult:
     delivered_power: np.ndarray  #: served draw per slot (W)
     battery_level: np.ndarray  #: level at each slot end (J)
     allocated_power: np.ndarray  #: planner budget per slot (NaN if plan-free)
+    plan_iterations: int | None = None  #: Algorithm-1 passes to feasibility (plan-free: None)
+    plan_used_fallback: bool | None = None  #: greedy fallback engaged
+    plan_feasible: bool | None = None  #: final trajectory inside the window
 
     @property
     def utilization(self) -> float:
@@ -63,21 +67,42 @@ def _tile(schedule: Schedule, n_periods: int) -> np.ndarray:
     return np.tile(schedule.values, n_periods)
 
 
+def build_manager(
+    scenario: PaperScenario, frontier: OperatingFrontier
+) -> DynamicPowerManager:
+    """The manager :func:`run_managed` plans with, exactly.
+
+    Single construction point so the batch runner can pre-plan a scenario in
+    the parent process and be certain its allocation-cache entries match the
+    keys each worker's :func:`run_managed` call will look up.
+    """
+    return DynamicPowerManager(
+        scenario.charging,
+        scenario.event_demand,
+        scenario.weight(),
+        frontier=frontier,
+        spec=scenario.spec,
+    )
+
+
 def run_demand_follower(
     scenario: PaperScenario,
     *,
     n_periods: int = 2,
+    supply_factor: float = 1.0,
     name: str = "static",
 ) -> EnergyRunResult:
     """The paper's static algorithm: draw the demand schedule directly.
 
     "The system is turned off while there is no input data to process" —
     i.e. the drawn power tracks the use schedule exactly; the battery
-    absorbs surpluses and serves deficits until it can't.
+    absorbs surpluses and serves deficits until it can't.  ``supply_factor``
+    scales the delivered charging power, mirroring :func:`run_managed` so
+    supply-deviation sweeps compare both policies under the same sky.
     """
     tau = scenario.grid.tau
     demand = _tile(scenario.event_demand, n_periods)
-    supply = _tile(scenario.charging, n_periods)
+    supply = _tile(scenario.charging, n_periods) * supply_factor
     battery = Battery(scenario.spec)
     delivered = np.empty_like(demand)
     levels = np.empty_like(demand)
@@ -125,13 +150,7 @@ def run_managed(
     demand = _tile(scenario.event_demand, n_periods)
     expected_supply = _tile(scenario.charging, n_periods)
     actual_supply = expected_supply * supply_factor
-    manager = DynamicPowerManager(
-        scenario.charging,
-        scenario.event_demand,
-        scenario.weight(),
-        frontier=frontier,
-        spec=scenario.spec,
-    )
+    manager = build_manager(scenario, frontier)
     manager.plan()
     manager.start()
     battery = Battery(scenario.spec)
@@ -164,6 +183,9 @@ def run_managed(
         delivered_power=delivered,
         battery_level=levels,
         allocated_power=allocated,
+        plan_iterations=manager.allocation.n_iterations,
+        plan_used_fallback=manager.allocation.used_fallback,
+        plan_feasible=manager.allocation.feasible,
     )
 
 

@@ -5,39 +5,24 @@ policy × knob) cells through the energy-accounting harness and tabulate
 the books.  :func:`sweep_scenarios` and :func:`sweep_knob` provide that
 grid with one call each, returning plain rows ready for
 :func:`~repro.analysis.report.format_table` or assertions.
+
+Both are thin builders over :mod:`repro.analysis.batch`: they materialize
+the grid as :class:`~repro.analysis.batch.CellSpec` cells and hand it to
+the shared runner, so the serial convenience API and the parallel batch
+API execute the exact same per-cell code (one policy dispatch, one
+accounting path) and produce identical rows.  Pass ``n_workers`` to fan a
+large grid out across processes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from ..core.pareto import OperatingFrontier
 from ..scenarios.paper import PaperScenario
-from .energy import EnergyRunResult, run_demand_follower, run_managed
+from .batch import CellSpec, SweepCell, run_grid
 
 __all__ = ["SweepCell", "sweep_scenarios", "sweep_knob"]
-
-
-@dataclass(frozen=True)
-class SweepCell:
-    """One grid cell of a sweep."""
-
-    scenario: str
-    policy: str
-    knob: object  #: the swept value (None for plain scenario sweeps)
-    result: EnergyRunResult
-
-    def row(self) -> tuple:
-        """Flat row: (scenario, policy, knob, wasted, undersupplied, util)."""
-        return (
-            self.scenario,
-            self.policy,
-            self.knob,
-            self.result.wasted,
-            self.result.undersupplied,
-            self.result.utilization,
-        )
 
 
 def sweep_scenarios(
@@ -46,19 +31,15 @@ def sweep_scenarios(
     *,
     n_periods: int = 2,
     policies: Sequence[str] = ("proposed", "static"),
+    n_workers: int | None = None,
 ) -> list[SweepCell]:
     """Run the named policies over every scenario."""
-    cells: list[SweepCell] = []
-    for sc in scenarios:
-        for policy in policies:
-            if policy == "proposed":
-                result = run_managed(sc, frontier, n_periods=n_periods)
-            elif policy == "static":
-                result = run_demand_follower(sc, n_periods=n_periods)
-            else:
-                raise ValueError(f"unknown policy {policy!r}")
-            cells.append(SweepCell(sc.name, policy, None, result))
-    return cells
+    cells = [
+        CellSpec(scenario=sc, policy=policy, knob=None, n_periods=n_periods)
+        for sc in scenarios
+        for policy in policies
+    ]
+    return run_grid(cells, frontier, n_workers=n_workers).cells
 
 
 def sweep_knob(
@@ -69,8 +50,13 @@ def sweep_knob(
     *,
     n_periods: int = 2,
     policies: Sequence[str] = ("proposed", "static"),
+    n_workers: int | None = None,
 ) -> list[SweepCell]:
     """Sweep one knob: ``mutate(base, value)`` builds each cell's scenario.
+
+    The mutation runs here, in the calling process, so ``mutate`` may be any
+    callable (lambdas included) even when the grid is evaluated by worker
+    processes.
 
     Example — battery-capacity sweep::
 
@@ -79,15 +65,14 @@ def sweep_knob(
             lambda sc, k: replace_spec(sc, c_max=k * sc.spec.c_max),
         )
     """
-    cells: list[SweepCell] = []
-    for value in knob_values:
-        scenario = mutate(base_scenario, value)
-        for policy in policies:
-            if policy == "proposed":
-                result = run_managed(scenario, frontier, n_periods=n_periods)
-            elif policy == "static":
-                result = run_demand_follower(scenario, n_periods=n_periods)
-            else:
-                raise ValueError(f"unknown policy {policy!r}")
-            cells.append(SweepCell(scenario.name, policy, value, result))
-    return cells
+    cells = [
+        CellSpec(
+            scenario=mutate(base_scenario, value),
+            policy=policy,
+            knob=value,
+            n_periods=n_periods,
+        )
+        for value in knob_values
+        for policy in policies
+    ]
+    return run_grid(cells, frontier, n_workers=n_workers).cells

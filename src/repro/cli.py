@@ -11,13 +11,18 @@ Usage::
     python -m repro fig4 [--csv]      # charging/use schedule, scenario II
     python -m repro all               # everything, in paper order
     python -m repro library           # proposed vs. static over the extended scenario library
+    python -m repro sweep [--workers N] [--scenarios paper|library|all]
+                          [--supply-factors 1.0,0.9] [--json report.json]
+                                      # batch grid runner (serial or parallel)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from .analysis.batch import CellSpec, default_workers, run_grid
 from .analysis.figures import figure3, figure4
 from .analysis.report import format_table
 from .analysis.sweep import sweep_scenarios
@@ -28,7 +33,7 @@ from .scenarios.paper import pama_frontier, paper_scenarios, scenario1, scenario
 __all__ = ["main"]
 
 EXPERIMENTS = ("table1", "table2", "table3", "table4", "table5", "fig3", "fig4")
-EXTRAS = ("library",)
+EXTRAS = ("library", "sweep")
 
 
 def _render(experiment: str, *, csv: bool, n_periods: int) -> str:
@@ -63,6 +68,64 @@ def _render(experiment: str, *, csv: bool, n_periods: int) -> str:
     raise ValueError(f"unknown experiment {experiment!r}")
 
 
+_SCENARIO_SETS = ("paper", "library", "all")
+
+
+def _sweep_scenario_set(which: str):
+    if which == "paper":
+        return list(paper_scenarios())
+    if which == "library":
+        return list(library_scenarios())
+    return list(paper_scenarios()) + list(library_scenarios())
+
+
+def _run_sweep(args) -> str:
+    """The ``sweep`` subcommand: run a grid through the batch runner."""
+    scenarios = _sweep_scenario_set(args.scenarios)
+    policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+    factors = [
+        float(f) for f in args.supply_factors.split(",") if f.strip()
+    ] if args.supply_factors else [None]
+    cells = [
+        CellSpec(
+            scenario=sc,
+            policy=policy,
+            knob=factor,
+            n_periods=args.periods,
+            supply_factor=1.0 if factor is None else factor,
+        )
+        for sc in scenarios
+        for factor in factors
+        for policy in policies
+    ]
+    n_workers = default_workers() if args.workers == "auto" else int(args.workers)
+    report = run_grid(
+        cells,
+        pama_frontier(),
+        n_workers=n_workers,
+        cache=not args.no_cache,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.summary(), fh, indent=2)
+    table = format_table(
+        ["scenario", "policy", "supply factor", "wasted (J)",
+         "undersupplied (J)", "utilization"],
+        report.rows(),
+        title=(
+            f"Batch sweep — {len(cells)} cells, "
+            f"{report.n_workers or 'serial'} workers"
+        ),
+    )
+    footer = (
+        f"wall {report.wall_s:.3f} s (warm {report.warm_s:.3f} s) · "
+        f"allocation cache {report.cache_hits} hits / "
+        f"{report.cache_misses} misses "
+        f"(hit rate {report.cache_hit_rate:.2f})"
+    )
+    return table + "\n" + footer
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-dpm",
@@ -86,12 +149,56 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=2,
         metavar="N",
-        help="periods to simulate for table1/3/5 (default 2, as the paper)",
+        help="periods to simulate for table1/3/5 and sweep cells (default 2)",
+    )
+    sweep_opts = parser.add_argument_group("sweep options")
+    sweep_opts.add_argument(
+        "--workers",
+        default="0",
+        metavar="N",
+        help="worker processes for 'sweep' (0/1 = serial, 'auto' = CPU count)",
+    )
+    sweep_opts.add_argument(
+        "--scenarios",
+        choices=_SCENARIO_SETS,
+        default="paper",
+        help="scenario set for 'sweep' (default: the paper's two)",
+    )
+    sweep_opts.add_argument(
+        "--policies",
+        default="proposed,static",
+        metavar="P1,P2",
+        help="comma-separated policies for 'sweep'",
+    )
+    sweep_opts.add_argument(
+        "--supply-factors",
+        default="",
+        metavar="F1,F2",
+        help="optional supply-factor knob values for 'sweep' (e.g. 1.0,0.9)",
+    )
+    sweep_opts.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the allocation memo for 'sweep'",
+    )
+    sweep_opts.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the sweep run report as JSON",
     )
     args = parser.parse_args(argv)
     if args.periods < 1:
         parser.error("--periods must be >= 1")
+    if args.workers != "auto":
+        try:
+            if int(args.workers) < 0:
+                raise ValueError
+        except ValueError:
+            parser.error("--workers must be a non-negative integer or 'auto'")
 
+    if args.experiment == "sweep":
+        print(_run_sweep(args))
+        return 0
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     chunks = [
         _render(t, csv=args.csv, n_periods=args.periods) for t in targets

@@ -43,6 +43,8 @@ Completion choices (the paper leaves these open; see DESIGN.md):
 
 from __future__ import annotations
 
+import logging
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -55,6 +57,7 @@ __all__ = [
     "Anchor",
     "AllocationIteration",
     "AllocationResult",
+    "AllocationCacheStats",
     "cyclic_extrema",
     "violating_anchors",
     "prune_anchors",
@@ -62,8 +65,16 @@ __all__ = [
     "usage_from_trajectory",
     "adjust_power_schedule",
     "allocate",
+    "allocate_cached",
+    "allocation_cache_stats",
+    "allocation_cache_entries",
+    "preload_allocation_cache",
+    "clear_allocation_cache",
+    "set_allocation_cache_enabled",
     "greedy_feasible_allocation",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 # ----------------------------------------------------------------------
@@ -325,11 +336,84 @@ def adjust_power_schedule(
     # trajectory stays periodic for the next pass (Eq. 8 re-applied).
     supply = charging.total_energy()
     demand = adjusted.total_energy()
-    if demand > 0 and supply > 0 and abs(demand - supply) > tol:
-        rescaled = adjusted * (supply / demand)
-        if usage_ceiling is None or float(rescaled.values.max()) <= usage_ceiling + tol:
-            adjusted = rescaled
+    if supply > 0 and abs(demand - supply) > tol:
+        if demand > 0:
+            rescaled = adjusted * (supply / demand)
+            if usage_ceiling is None or float(rescaled.values.max()) <= usage_ceiling + tol:
+                return rescaled
+        # Multiplicative rescaling would breach the usage band (or there is
+        # nothing to scale).  Instead of dropping the re-balance — which
+        # leaves a non-periodic trajectory for the next pass — redistribute
+        # the residual energy into slots with band headroom.
+        adjusted = _rebalance_within_band(
+            adjusted, supply, floor=usage_floor, ceiling=usage_ceiling, tol=tol
+        )
     return adjusted
+
+
+def _rebalance_within_band(
+    usage: Schedule,
+    target_energy: float,
+    *,
+    floor: float,
+    ceiling: float | None,
+    tol: float,
+) -> Schedule:
+    """Move ``usage``'s period integral to ``target_energy`` without leaving
+    ``[floor, ceiling]``: surpluses are shaved proportionally to each slot's
+    reserve above the floor, deficits are filled proportionally to each
+    slot's ceiling headroom, so no slot crosses a band edge.
+
+    When the band simply cannot hold the target energy the result saturates
+    at the nearest band edge and the remaining imbalance is logged — the
+    caller's trajectory will not be periodic, which :func:`allocate` then
+    surfaces as infeasibility instead of silently iterating on a drifting
+    plan.
+    """
+    grid = usage.grid
+    tau = grid.tau
+    hi = np.inf if ceiling is None else float(ceiling)
+    values = np.clip(usage.values.astype(float), floor, hi)
+    residual = target_energy - float(values.sum()) * tau
+    if residual > tol:
+        headroom = hi - values
+        capacity = float(headroom.sum()) * tau
+        if capacity <= 0:
+            logger.warning(
+                "cannot restore energy balance: %.3g J surplus exceeds the "
+                "usage band (ceiling=%s)",
+                residual,
+                ceiling,
+            )
+            return Schedule(grid, values)
+        add = min(residual, capacity)
+        values = values + (add / tau) * headroom / float(headroom.sum())
+        if add < residual - tol:
+            logger.warning(
+                "energy balance only partially restored: %.3g J of surplus "
+                "left after filling all ceiling headroom",
+                residual - add,
+            )
+    elif residual < -tol:
+        reserve = values - floor
+        capacity = float(reserve.sum()) * tau
+        if capacity <= 0:
+            logger.warning(
+                "cannot restore energy balance: %.3g J deficit with every "
+                "slot at the usage floor (%s)",
+                -residual,
+                floor,
+            )
+            return Schedule(grid, values)
+        cut = min(-residual, capacity)
+        values = values - (cut / tau) * reserve / float(reserve.sum())
+        if cut < -residual - tol:
+            logger.warning(
+                "energy balance only partially restored: %.3g J of deficit "
+                "left after cutting to the usage floor",
+                -residual - cut,
+            )
+    return Schedule(grid, np.clip(values, floor, hi))
 
 
 def allocate(
@@ -402,6 +486,170 @@ def allocate(
         iterations.append(AllocationIteration(usage, traj, check))
         return AllocationResult(iterations, feasible=check.feasible, used_fallback=True)
     return AllocationResult(iterations, feasible=False, used_fallback=False)
+
+
+# ----------------------------------------------------------------------
+# content-addressed allocation memo (used by the sweep/batch runner)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AllocationCacheStats:
+    """Counters of the process-local :func:`allocate_cached` memo."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+_ALLOC_CACHE_MAXSIZE = 256
+_alloc_cache: "OrderedDict[tuple, AllocationResult]" = OrderedDict()
+_alloc_cache_enabled = True
+_alloc_hits = 0
+_alloc_misses = 0
+
+
+def _allocation_key(
+    charging: Schedule,
+    desired_usage: Schedule,
+    spec: BatterySpec,
+    initial_level: float | None,
+    usage_floor: float,
+    usage_ceiling: float | None,
+    max_iterations: int,
+    tol: float,
+    fallback: str,
+) -> tuple:
+    # Schedule hashes/compares by (grid, values) content and BatterySpec is a
+    # frozen dataclass, so the tuple below *is* a content hash of the whole
+    # allocation problem; dict equality checks make collisions exact.
+    initial = spec.initial if initial_level is None else float(initial_level)
+    return (
+        charging,
+        desired_usage,
+        spec,
+        initial,
+        float(usage_floor),
+        None if usage_ceiling is None else float(usage_ceiling),
+        int(max_iterations),
+        float(tol),
+        fallback,
+    )
+
+
+def allocate_cached(
+    charging: Schedule,
+    desired_usage: Schedule,
+    spec: BatterySpec,
+    *,
+    initial_level: float | None = None,
+    usage_floor: float = 0.0,
+    usage_ceiling: float | None = None,
+    max_iterations: int = 8,
+    tol: float = 1e-9,
+    fallback: str = "greedy",
+) -> AllocationResult:
+    """Memoized :func:`allocate` — identical problems are solved once.
+
+    :func:`allocate` is a pure function of immutable inputs, so the memo is
+    exact: a hit returns the same :class:`AllocationResult` value a fresh
+    computation would, bit for bit.  The cache is process-local, LRU-bounded,
+    and keyed by content (schedule values + grid, battery spec, and every
+    knob), which is what lets grid sweeps that revisit a planning problem —
+    e.g. a supply-factor or ``n_periods`` sweep over one scenario — pay for
+    each allocation once per process.
+    """
+    global _alloc_hits, _alloc_misses
+    if not _alloc_cache_enabled:
+        return allocate(
+            charging,
+            desired_usage,
+            spec,
+            initial_level=initial_level,
+            usage_floor=usage_floor,
+            usage_ceiling=usage_ceiling,
+            max_iterations=max_iterations,
+            tol=tol,
+            fallback=fallback,
+        )
+    key = _allocation_key(
+        charging,
+        desired_usage,
+        spec,
+        initial_level,
+        usage_floor,
+        usage_ceiling,
+        max_iterations,
+        tol,
+        fallback,
+    )
+    cached = _alloc_cache.get(key)
+    if cached is not None:
+        _alloc_hits += 1
+        _alloc_cache.move_to_end(key)
+        return cached
+    _alloc_misses += 1
+    result = allocate(
+        charging,
+        desired_usage,
+        spec,
+        initial_level=initial_level,
+        usage_floor=usage_floor,
+        usage_ceiling=usage_ceiling,
+        max_iterations=max_iterations,
+        tol=tol,
+        fallback=fallback,
+    )
+    _alloc_cache[key] = result
+    if len(_alloc_cache) > _ALLOC_CACHE_MAXSIZE:
+        _alloc_cache.popitem(last=False)
+    return result
+
+
+def allocation_cache_stats() -> AllocationCacheStats:
+    """Hit/miss/size counters for this process's allocation memo."""
+    return AllocationCacheStats(_alloc_hits, _alloc_misses, len(_alloc_cache))
+
+
+def allocation_cache_entries() -> list[tuple[tuple, AllocationResult]]:
+    """Snapshot of the memo contents (for shipping to worker processes)."""
+    return list(_alloc_cache.items())
+
+
+def preload_allocation_cache(
+    entries: "list[tuple[tuple, AllocationResult]]",
+) -> None:
+    """Seed the memo with precomputed entries (worker-process warm start).
+
+    Preloaded entries do not count as hits or misses; only lookups do.
+    """
+    for key, result in entries:
+        _alloc_cache[key] = result
+    while len(_alloc_cache) > _ALLOC_CACHE_MAXSIZE:
+        _alloc_cache.popitem(last=False)
+
+
+def clear_allocation_cache() -> None:
+    """Drop all memo entries and zero the counters."""
+    global _alloc_hits, _alloc_misses
+    _alloc_cache.clear()
+    _alloc_hits = _alloc_misses = 0
+
+
+def set_allocation_cache_enabled(enabled: bool) -> bool:
+    """Toggle the memo (returns the previous setting).
+
+    Disabling routes :func:`allocate_cached` straight to :func:`allocate`
+    without touching the counters — the serial baseline of the parallel-sweep
+    benchmark runs this way to measure the uncached cost.
+    """
+    global _alloc_cache_enabled
+    previous = _alloc_cache_enabled
+    _alloc_cache_enabled = bool(enabled)
+    return previous
 
 
 def greedy_feasible_allocation(

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..models.battery import BatterySpec
 from ..util.schedule import Schedule
-from .allocation import AllocationResult, allocate
+from .allocation import AllocationResult, allocate_cached
 from .pareto import OperatingFrontier, OperatingPoint
 from .parameters import ParameterSchedule, SwitchingOverheads, plan_parameters
 from .update import redistribute_deviation
@@ -146,7 +146,10 @@ class DynamicPowerManager:
         level = float(self.spec.initial)
         allocation = None
         for _ in range(12):
-            allocation = allocate(
+            # allocate() is pure on immutable inputs, so the memoized wrapper
+            # returns bit-identical plans; repeated planning problems (grid
+            # sweeps, replans) are solved once per process.
+            allocation = allocate_cached(
                 self.charging,
                 u_new,
                 self.spec,

@@ -36,7 +36,8 @@ class SimulationEngine:
         self._now = float(start_time)
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
-        self._cancelled: set[int] = set()
+        self._queued: set[int] = set()  # seqs currently in the heap
+        self._cancelled: set[int] = set()  # always a subset of _queued
         self._events_run = 0
 
     # ------------------------------------------------------------------
@@ -51,8 +52,8 @@ class SimulationEngine:
 
     @property
     def pending(self) -> int:
-        """Scheduled-but-unexecuted callbacks (including cancelled)."""
-        return len(self._queue)
+        """Live (scheduled, not executed, not cancelled) callbacks."""
+        return len(self._queue) - len(self._cancelled)
 
     # ------------------------------------------------------------------
     def at(self, time: float, fn: Callable[[], None]) -> SimEvent:
@@ -63,6 +64,7 @@ class SimulationEngine:
             )
         seq = next(self._seq)
         heapq.heappush(self._queue, (float(time), seq, fn))
+        self._queued.add(seq)
         return SimEvent(float(time), seq)
 
     def after(self, delay: float, fn: Callable[[], None]) -> SimEvent:
@@ -72,30 +74,45 @@ class SimulationEngine:
         return self.at(self._now + delay, fn)
 
     def cancel(self, event: SimEvent) -> None:
-        """Cancel a pending event (no-op if already executed)."""
-        self._cancelled.add(event.seq)
+        """Cancel a pending event (no-op if already executed or cancelled)."""
+        if event.seq in self._queued:
+            self._cancelled.add(event.seq)
 
     # ------------------------------------------------------------------
+    def _discard_cancelled_head(self) -> None:
+        """Pop cancelled entries off the queue head (and forget their seqs)."""
+        while self._queue and self._queue[0][1] in self._cancelled:
+            _, seq, _ = heapq.heappop(self._queue)
+            self._queued.discard(seq)
+            self._cancelled.discard(seq)
+
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
-        while self._queue:
-            time, seq, fn = heapq.heappop(self._queue)
-            if seq in self._cancelled:
-                self._cancelled.discard(seq)
-                continue
-            self._now = time
-            self._events_run += 1
-            fn()
-            return True
-        return False
+        self._discard_cancelled_head()
+        if not self._queue:
+            return False
+        time, seq, fn = heapq.heappop(self._queue)
+        self._queued.discard(seq)
+        self._now = time
+        self._events_run += 1
+        fn()
+        return True
 
     def run_until(self, t_end: float) -> None:
-        """Execute events with ``time <= t_end``; the clock ends at ``t_end``."""
+        """Execute events with ``time <= t_end``; the clock ends at ``t_end``.
+
+        The bound applies to the event actually executed: cancelled queue
+        heads are purged lazily *before* the head time is compared, so a
+        cancelled entry at ``t <= t_end`` can never smuggle a live event
+        with ``time > t_end`` past the deadline.
+        """
         if t_end < self._now:
             raise ValueError("t_end precedes the current time")
-        while self._queue and self._queue[0][0] <= t_end + 1e-12:
-            if not self.step():
+        while True:
+            self._discard_cancelled_head()
+            if not self._queue or self._queue[0][0] > t_end + 1e-12:
                 break
+            self.step()
         self._now = max(self._now, t_end)
 
     def run(self) -> None:

@@ -151,6 +151,12 @@ class Schedule:
     def __hash__(self):  # immutable → hashable
         return hash((self._grid, self._values.tobytes()))
 
+    def __reduce__(self):
+        # Route pickling through __init__ so unpickled copies re-establish
+        # the read-only backing array (plain __slots__ state restore would
+        # leave the values writeable in worker processes).
+        return (Schedule, (self._grid, np.array(self._values)))
+
     def allclose(self, other: "Schedule", *, atol: float = 1e-9, rtol: float = 1e-9) -> bool:
         """Approximate equality on the same grid."""
         if not isinstance(other, Schedule) or other._grid != self._grid:

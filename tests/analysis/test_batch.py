@@ -1,0 +1,210 @@
+"""The parallel batch runner: cells, metrics, cache, and determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.batch import (
+    CellSpec,
+    SweepReport,
+    policy_names,
+    register_policy,
+    run_cell,
+    run_grid,
+)
+from repro.analysis.energy import run_demand_follower
+from repro.core.allocation import (
+    allocation_cache_stats,
+    clear_allocation_cache,
+    set_allocation_cache_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_allocation_cache()
+    yield
+    clear_allocation_cache()
+    set_allocation_cache_enabled(True)
+
+
+def _grid(sc1, sc2, *, factors=(1.0, 0.9), n_periods=1):
+    return [
+        CellSpec(
+            scenario=sc,
+            policy=policy,
+            knob=f,
+            n_periods=n_periods,
+            supply_factor=f,
+        )
+        for sc in (sc1, sc2)
+        for f in factors
+        for policy in ("proposed", "static")
+    ]
+
+
+class TestCellSpec:
+    def test_rejects_nonpositive_periods(self, sc1):
+        with pytest.raises(ValueError, match="n_periods"):
+            CellSpec(scenario=sc1, policy="proposed", n_periods=0)
+
+    def test_is_hashable_and_frozen(self, sc1):
+        spec = CellSpec(scenario=sc1, policy="proposed")
+        assert hash(spec) == hash(CellSpec(scenario=sc1, policy="proposed"))
+        with pytest.raises(AttributeError):
+            spec.policy = "static"
+
+
+class TestRunCell:
+    def test_unknown_policy(self, sc1, frontier):
+        spec = CellSpec(scenario=sc1, policy="nope")
+        with pytest.raises(ValueError, match="unknown policy"):
+            run_cell(spec, frontier)
+
+    def test_proposed_captures_plan_metrics(self, sc1, frontier):
+        out = run_cell(CellSpec(scenario=sc1, policy="proposed", n_periods=1), frontier)
+        assert out.metrics.plan_iterations is not None
+        assert out.metrics.plan_iterations >= 1
+        assert out.metrics.plan_feasible is True
+        assert out.metrics.wall_s > 0
+
+    def test_static_has_no_plan_metrics(self, sc1):
+        out = run_cell(CellSpec(scenario=sc1, policy="static", n_periods=1))
+        assert out.metrics.plan_iterations is None
+        assert out.metrics.plan_used_fallback is None
+
+    def test_proposed_requires_frontier(self, sc1):
+        with pytest.raises(ValueError, match="frontier"):
+            run_cell(CellSpec(scenario=sc1, policy="proposed"))
+
+    def test_cache_accounting_per_cell(self, sc1, frontier):
+        spec = CellSpec(scenario=sc1, policy="proposed", n_periods=1)
+        first = run_cell(spec, frontier)
+        second = run_cell(spec, frontier)
+        assert first.metrics.cache_misses >= 1
+        assert second.metrics.cache_misses == 0
+        assert second.metrics.cache_hits >= 1
+
+
+class TestSerialGrid:
+    def test_rows_in_grid_order(self, sc1, sc2, frontier):
+        cells = _grid(sc1, sc2)
+        report = run_grid(cells, frontier)
+        assert report.n_workers == 0
+        assert len(report.cells) == len(cells)
+        for spec, cell in zip(cells, report.cells):
+            assert cell.scenario == spec.scenario.name
+            assert cell.policy == spec.policy
+            assert cell.knob == spec.knob
+
+    def test_unknown_policy_rejected_up_front(self, sc1, frontier):
+        cells = [CellSpec(scenario=sc1, policy="bogus")]
+        with pytest.raises(ValueError, match="unknown policy"):
+            run_grid(cells, frontier)
+
+    def test_knob_reuse_hits_the_memo(self, sc1, sc2, frontier):
+        report = run_grid(_grid(sc1, sc2, factors=(1.0, 0.9, 0.8)), frontier)
+        # supply_factor does not change the planning problem, so every
+        # proposed cell after the first per scenario is a memo hit
+        assert report.cache_hits > 0
+        assert report.cache_hit_rate > 0
+
+    def test_cache_disabled_never_hits(self, sc1, sc2, frontier):
+        report = run_grid(_grid(sc1, sc2), frontier, cache=False)
+        assert report.cache_enabled is False
+        assert report.cache_hits == 0
+        assert report.cache_misses == 0
+
+    def test_cache_flag_restored_after_run(self, sc1, frontier):
+        set_allocation_cache_enabled(True)
+        run_grid([CellSpec(scenario=sc1, policy="static")], frontier, cache=False)
+        # the run toggled the memo off internally but must restore it
+        clear_allocation_cache()
+        run_demand_follower(sc1, n_periods=1)
+        assert allocation_cache_stats().size == 0  # static never allocates
+        out = run_cell(CellSpec(scenario=sc1, policy="proposed", n_periods=1), frontier)
+        assert out.metrics.cache_misses >= 1  # memo is live again
+
+
+class TestParallelDeterminism:
+    def test_parallel_rows_bit_identical_to_serial(self, sc1, sc2, frontier):
+        cells = _grid(sc1, sc2, factors=(1.0, 0.95, 0.9))
+        serial = run_grid(cells, frontier, n_workers=None, cache=False)
+        clear_allocation_cache()
+        parallel = run_grid(cells, frontier, n_workers=2, cache=True)
+        assert serial.rows() == parallel.rows()
+        for a, b in zip(serial.cells, parallel.cells):
+            np.testing.assert_array_equal(
+                a.result.delivered_power, b.result.delivered_power
+            )
+            np.testing.assert_array_equal(
+                a.result.battery_level, b.result.battery_level
+            )
+            np.testing.assert_array_equal(a.result.used_power, b.result.used_power)
+
+    def test_parallel_report_counts_workers_and_warm(self, sc1, sc2, frontier):
+        report = run_grid(_grid(sc1, sc2), frontier, n_workers=2)
+        assert report.n_workers == 2
+        assert report.chunksize >= 1
+        assert report.warm_s >= 0.0
+        # warm-up pre-planned both scenarios, so workers only ever hit
+        assert report.cache_misses == 0
+        assert report.cache_hits > 0
+
+
+class TestSweepReport:
+    def test_summary_is_json_serializable(self, sc1, sc2, frontier):
+        import json
+
+        report = run_grid(_grid(sc1, sc2), frontier)
+        payload = json.loads(json.dumps(report.summary()))
+        assert payload["n_cells"] == len(report.cells)
+        assert len(payload["cells"]) == len(report.cells)
+        entry = payload["cells"][0]
+        assert entry["scenario"] == report.cells[0].scenario
+        assert set(entry) >= {
+            "policy",
+            "knob",
+            "wall_s",
+            "cache_hits",
+            "plan_iterations",
+            "wasted",
+            "undersupplied",
+        }
+
+    def test_hit_rate_empty_grid(self):
+        report = SweepReport(
+            outcomes=(),
+            wall_s=0.0,
+            warm_s=0.0,
+            n_workers=0,
+            chunksize=1,
+            cache_enabled=True,
+        )
+        assert report.cache_hit_rate == 0.0
+        assert report.rows() == []
+
+
+class TestPolicyRegistry:
+    def test_register_and_dispatch(self, sc1, frontier):
+        def _half_static(spec, frontier):
+            return run_demand_follower(
+                spec.scenario,
+                n_periods=spec.n_periods,
+                supply_factor=spec.supply_factor * 0.5,
+            )
+
+        from repro.analysis import batch as batch_mod
+
+        register_policy("half-static", _half_static)
+        try:
+            assert "half-static" in policy_names()
+            report = run_grid(
+                [CellSpec(scenario=sc1, policy="half-static", n_periods=1)],
+                frontier,
+            )
+            assert report.cells[0].policy == "half-static"
+        finally:
+            batch_mod._POLICIES.pop("half-static", None)
+            batch_mod._PLANNING_POLICIES.discard("half-static")

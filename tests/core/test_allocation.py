@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.allocation import (
     Anchor,
+    _rebalance_within_band,
     adjust_power_schedule,
     allocate,
     cyclic_extrema,
@@ -266,3 +267,83 @@ class TestGreedyFallback:
         u = Schedule(small_grid, [0.5, 1.5, 0.5, 1.5])
         plan = greedy_feasible_allocation(c, u, spec)
         assert plan.allclose(u)
+
+
+class TestRescaleEdgePaths:
+    def test_single_anchor_opposite_extremum_out_of_bounds(self):
+        """The completing pseudo-anchor maps to its bound when the global
+        opposite extremum itself violates."""
+        levels = np.array([1.0, 8.0, 2.0, -1.0])
+        anchors = [Anchor(1, 8.0, "high")]
+        out = rescale_trajectory(levels, anchors, c_min=0.0, c_max=4.0)
+        assert out[1] == pytest.approx(4.0)
+        assert out[3] == pytest.approx(0.0)  # clipped to c_min, not kept at -1
+
+    def test_single_anchor_constant_trajectory_shifts_to_target(self):
+        """Degenerate case: a constant violating trajectory has no opposite
+        extremum; the whole level set shifts onto the bound."""
+        levels = np.array([7.0, 7.0, 7.0, 7.0])
+        anchors = [Anchor(0, 7.0, "high")]
+        out = rescale_trajectory(levels, anchors, c_min=0.0, c_max=4.0)
+        np.testing.assert_allclose(out, 4.0)
+
+    def test_flat_segment_denom_zero_interpolates_by_position(self):
+        """Equal anchor levels (denom == 0) interpolate targets linearly in
+        position across the segment, never dividing by zero."""
+        levels = np.array([5.0, 5.0, 5.0, 5.0, -1.0, 2.0])
+        anchors = [Anchor(0, 5.0, "high"), Anchor(3, 5.0, "high"),
+                   Anchor(4, -1.0, "low")]
+        out = rescale_trajectory(levels, prune_anchors(anchors), 0.0, 4.0)
+        assert np.all(np.isfinite(out))
+        assert out.max() <= 4.0 + 1e-9
+        assert out.min() >= 0.0 - 1e-9
+
+
+class TestRebalanceWithinBand:
+    def test_surplus_spread_over_ceiling_headroom(self, small_grid):
+        u = Schedule(small_grid, [1.0, 1.0, 1.0, 1.0])  # 10 J over the period
+        out = _rebalance_within_band(u, 12.0, floor=0.0, ceiling=1.5, tol=1e-9)
+        assert out.total_energy() == pytest.approx(12.0)
+        assert np.all(out.values <= 1.5 + 1e-12)
+
+    def test_deficit_cut_proportional_to_floor_reserve(self, small_grid):
+        u = Schedule(small_grid, [1.0, 1.0, 1.0, 1.0])
+        out = _rebalance_within_band(u, 8.0, floor=0.0, ceiling=None, tol=1e-9)
+        assert out.total_energy() == pytest.approx(8.0)
+        assert np.all(out.values >= 0.0)
+
+    def test_surplus_beyond_band_saturates_and_warns(self, small_grid, caplog):
+        u = Schedule(small_grid, [1.0, 1.0, 1.0, 1.0])
+        with caplog.at_level("WARNING", logger="repro.core.allocation"):
+            out = _rebalance_within_band(u, 20.0, floor=0.0, ceiling=1.2, tol=1e-9)
+        assert np.all(out.values == pytest.approx(1.2))  # every slot at ceiling
+        assert any("surplus" in r.message for r in caplog.records)
+
+    def test_deficit_with_no_reserve_warns(self, small_grid, caplog):
+        u = Schedule(small_grid, [1.0, 1.0, 1.0, 1.0])
+        with caplog.at_level("WARNING", logger="repro.core.allocation"):
+            out = _rebalance_within_band(u, 2.0, floor=1.0, ceiling=None, tol=1e-9)
+        np.testing.assert_allclose(out.values, 1.0)  # pinned at the floor
+        assert any("deficit" in r.message for r in caplog.records)
+
+    def test_adjust_pass_rebalances_when_rescale_breaches_ceiling(self, small_grid):
+        """Regression: the pass used to *skip* the energy re-balance whenever
+        multiplicative rescaling would cross ``usage_ceiling``, silently
+        handing the next iteration a non-periodic trajectory.  Now the
+        residual is redistributed into ceiling headroom instead."""
+        spec = BatterySpec(c_max=2.0, c_min=0.0, initial=0.0)
+        c = Schedule(small_grid, [2.0, 2.0, 0.0, 0.0])
+        u = Schedule(small_grid, [0.0, 0.0, 2.0, 2.0])
+        out = adjust_power_schedule(c, u, spec, usage_ceiling=1.5)
+        assert np.all(out.values <= 1.5 + 1e-12)
+        # energy balance restored despite the ceiling
+        assert out.total_energy() == pytest.approx(c.total_energy())
+
+    def test_adjust_pass_warns_when_band_cannot_hold_supply(self, small_grid, caplog):
+        spec = BatterySpec(c_max=2.0, c_min=0.0, initial=0.0)
+        c = Schedule(small_grid, [2.0, 2.0, 0.0, 0.0])  # 10 J supplied
+        u = Schedule(small_grid, [0.0, 0.0, 2.0, 2.0])
+        with caplog.at_level("WARNING", logger="repro.core.allocation"):
+            out = adjust_power_schedule(c, u, spec, usage_ceiling=0.9)
+        np.testing.assert_allclose(out.values, 0.9)  # band maxed out: 9 J < 10 J
+        assert any("balance" in r.message for r in caplog.records)

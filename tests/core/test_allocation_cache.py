@@ -1,0 +1,119 @@
+"""The content-addressed allocation memo behind the batch runner."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import (
+    allocate,
+    allocate_cached,
+    allocation_cache_entries,
+    allocation_cache_stats,
+    clear_allocation_cache,
+    preload_allocation_cache,
+    set_allocation_cache_enabled,
+)
+from repro.core.wpuf import desired_usage
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_allocation_cache()
+    set_allocation_cache_enabled(True)
+    yield
+    clear_allocation_cache()
+    set_allocation_cache_enabled(True)
+
+
+@pytest.fixture
+def problem(sc1):
+    u_new = desired_usage(sc1.event_demand, sc1.weight(), sc1.charging)
+    return sc1.charging, u_new, sc1.spec
+
+
+class TestMemo:
+    def test_second_call_is_a_hit(self, problem):
+        charging, usage, spec = problem
+        first = allocate_cached(charging, usage, spec)
+        second = allocate_cached(charging, usage, spec)
+        stats = allocation_cache_stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert second is first  # the memo returns the stored result
+
+    def test_hit_matches_fresh_computation_bitwise(self, problem):
+        charging, usage, spec = problem
+        cached = allocate_cached(charging, usage, spec)
+        cached = allocate_cached(charging, usage, spec)  # force the hit path
+        fresh = allocate(charging, usage, spec)
+        assert cached.feasible == fresh.feasible
+        assert cached.n_iterations == fresh.n_iterations
+        np.testing.assert_array_equal(cached.usage.values, fresh.usage.values)
+        np.testing.assert_array_equal(cached.trajectory, fresh.trajectory)
+
+    def test_distinct_knobs_are_distinct_entries(self, problem):
+        charging, usage, spec = problem
+        allocate_cached(charging, usage, spec)
+        allocate_cached(charging, usage, spec, max_iterations=5)
+        stats = allocation_cache_stats()
+        assert stats.misses == 2
+        assert stats.size == 2
+
+    def test_default_initial_level_canonicalized(self, problem):
+        """``initial_level=None`` and an explicit ``spec.initial`` are the
+        same problem and must share one entry."""
+        charging, usage, spec = problem
+        allocate_cached(charging, usage, spec)
+        allocate_cached(charging, usage, spec, initial_level=spec.initial)
+        stats = allocation_cache_stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_clear_resets_counters_and_entries(self, problem):
+        charging, usage, spec = problem
+        allocate_cached(charging, usage, spec)
+        clear_allocation_cache()
+        stats = allocation_cache_stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+
+    def test_disabled_bypasses_without_counting(self, problem):
+        charging, usage, spec = problem
+        previous = set_allocation_cache_enabled(False)
+        assert previous is True
+        allocate_cached(charging, usage, spec)
+        allocate_cached(charging, usage, spec)
+        stats = allocation_cache_stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+        assert set_allocation_cache_enabled(True) is False
+
+    def test_hit_rate(self, problem):
+        charging, usage, spec = problem
+        assert allocation_cache_stats().hit_rate == 0.0
+        allocate_cached(charging, usage, spec)
+        allocate_cached(charging, usage, spec)
+        allocate_cached(charging, usage, spec)
+        assert allocation_cache_stats().hit_rate == pytest.approx(2 / 3)
+
+
+class TestWarmStart:
+    def test_entries_round_trip_through_pickle(self, problem):
+        """The warm-start handoff: entries must survive the trip to a worker
+        process and serve hits there."""
+        charging, usage, spec = problem
+        result = allocate_cached(charging, usage, spec)
+        entries = pickle.loads(pickle.dumps(allocation_cache_entries()))
+        clear_allocation_cache()
+        preload_allocation_cache(entries)
+        warmed = allocate_cached(charging, usage, spec)
+        stats = allocation_cache_stats()
+        assert (stats.hits, stats.misses) == (1, 0)  # preload counts neither
+        np.testing.assert_array_equal(warmed.usage.values, result.usage.values)
+
+    def test_preloaded_schedule_values_stay_read_only(self, problem):
+        charging, usage, spec = problem
+        allocate_cached(charging, usage, spec)
+        entries = pickle.loads(pickle.dumps(allocation_cache_entries()))
+        restored = entries[0][1].usage
+        with pytest.raises(ValueError):
+            restored.values[0] = 99.0

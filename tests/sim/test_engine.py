@@ -88,3 +88,84 @@ class TestControl:
         engine.at(2.0, lambda: None)
         engine.run()
         assert engine.events_run == 2
+
+
+class TestCancelledHeadRegressions:
+    def test_run_until_respects_bound_past_cancelled_head(self):
+        # Regression: a cancelled head at t <= t_end used to let step() run
+        # the next live event even when that event was past the deadline.
+        engine = SimulationEngine()
+        log: list[float] = []
+        doomed = engine.at(1.0, lambda: log.append(1.0))
+        engine.at(5.0, lambda: log.append(5.0))
+        engine.cancel(doomed)
+        engine.run_until(2.0)
+        assert log == []
+        assert engine.now == 2.0
+        assert engine.pending == 1
+        engine.run()
+        assert log == [5.0]
+        assert engine.now == 5.0
+
+    def test_run_until_executes_live_event_after_cancelled_head(self):
+        # A live event inside the bound still runs when it sits behind a
+        # cancelled head.
+        engine = SimulationEngine()
+        log: list[float] = []
+        doomed = engine.at(1.0, lambda: log.append(1.0))
+        engine.at(1.5, lambda: log.append(1.5))
+        engine.cancel(doomed)
+        engine.run_until(2.0)
+        assert log == [1.5]
+        assert engine.now == 2.0
+
+    def test_cancel_after_execution_does_not_leak(self):
+        engine = SimulationEngine()
+        handle = engine.at(1.0, lambda: None)
+        engine.run()
+        engine.cancel(handle)  # no-op: already executed
+        assert engine._cancelled == set()
+        assert engine.pending == 0
+
+    def test_duplicate_cancel_is_idempotent(self):
+        engine = SimulationEngine()
+        handle = engine.at(1.0, lambda: None)
+        engine.cancel(handle)
+        engine.cancel(handle)
+        assert engine.pending == 0
+        engine.run()
+        assert engine.events_run == 0
+        assert engine._cancelled == set()
+        engine.cancel(handle)  # cancel after the entry was purged
+        assert engine._cancelled == set()
+
+    def test_pending_excludes_cancelled_entries(self):
+        engine = SimulationEngine()
+        handles = [engine.at(float(t), lambda: None) for t in (1, 2, 3)]
+        engine.cancel(handles[1])
+        assert engine.pending == 2
+
+    def test_cancelled_seqs_purged_on_pop(self):
+        # Long-mission leak: cancelled seqs must leave _cancelled once their
+        # queue entries are gone, however they are drained.
+        engine = SimulationEngine()
+        for t in range(50):
+            handle = engine.at(float(t), lambda: None)
+            if t % 2:
+                engine.cancel(handle)
+        engine.run()
+        assert engine._cancelled == set()
+        assert engine._queued == set()
+        assert engine.events_run == 25
+
+    def test_run_until_purges_cancelled_tail(self):
+        # Cancelled entries at the head are purged even when nothing runs.
+        engine = SimulationEngine()
+        h1 = engine.at(1.0, lambda: None)
+        h2 = engine.at(2.0, lambda: None)
+        engine.cancel(h1)
+        engine.cancel(h2)
+        engine.run_until(3.0)
+        assert engine.now == 3.0
+        assert engine.pending == 0
+        assert engine._cancelled == set()
