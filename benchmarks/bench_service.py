@@ -1,0 +1,200 @@
+"""The plan-serving daemon under concurrent load — the service artifact.
+
+Drives a live :class:`~repro.service.server.PlanServer` over its Unix
+socket with 8 concurrent clients and ≥256 plan requests per phase:
+
+* **cold** — every request is a distinct planning problem (unique
+  ``supply_factor``), so each one misses the plan LRU and runs a real
+  Algorithm-1 + run-time simulation on the shared executor;
+* **warm** — the identical request set again: every request is answered
+  straight from the plan cache in the connection thread, no dispatch;
+* **workers** — the cold phase repeated on a fresh daemon backed by a
+  4-process :class:`~repro.analysis.batch.CellExecutor` instead of the
+  in-process executor, for the 1-vs-N scaling row.
+
+Writes ``BENCH_service.json`` next to the repo root with throughput and
+p50/p95/p99 latency per phase, and asserts the service contract: zero
+dropped connections or error responses, every plan served, and warm-cache
+p95 latency at least 10× better than cold.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.core.allocation import clear_allocation_cache
+from repro.service.client import PlanClient
+from repro.service.metrics import percentile
+from repro.service.server import PlanServer, ServerConfig
+
+N_CLIENTS = 8
+N_PERIODS = 6  # heavier cells: the cold path must do real planning work
+PROCESS_WORKERS = 4
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def build_requests() -> list[dict]:
+    """256 distinct planning problems (unique supply factors per scenario)."""
+    return [
+        {
+            "scenario": scenario,
+            "policy": "proposed",
+            "n_periods": N_PERIODS,
+            "supply_factor": round(0.80 + 0.001 * k, 3),
+        }
+        for scenario in ("scenario1", "scenario2")
+        for k in range(128)
+    ]
+
+
+def drive(endpoint: str, requests: list[dict], n_clients: int):
+    """Fan the request list over ``n_clients`` concurrent connections.
+
+    Returns (per-request latencies in seconds, errors, wall seconds).
+    Every client opens one connection and keeps it for its whole shard —
+    a dropped connection surfaces as an error, never silently.
+    """
+    latencies: list[float] = []
+    errors: list[Exception] = []
+    lock = threading.Lock()
+
+    def worker(shard: list[dict]) -> None:
+        try:
+            with PlanClient(endpoint, timeout=120.0) as client:
+                for req in shard:
+                    t0 = time.perf_counter()
+                    result = client.plan(
+                        req["scenario"],
+                        policy=req["policy"],
+                        n_periods=req["n_periods"],
+                        supply_factor=req["supply_factor"],
+                    )
+                    dt = time.perf_counter() - t0
+                    assert result["scenario"] == req["scenario"]
+                    with lock:
+                        latencies.append(dt)
+        except Exception as exc:  # noqa: BLE001 - the bench reports, not hides
+            with lock:
+                errors.append(exc)
+
+    shards = [requests[i::n_clients] for i in range(n_clients)]
+    threads = [threading.Thread(target=worker, args=(s,)) for s in shards]
+    t_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return latencies, errors, time.perf_counter() - t_start
+
+
+def _phase_stats(latencies: list[float], wall_s: float) -> dict:
+    return {
+        "n_requests": len(latencies),
+        "wall_s": wall_s,
+        "throughput_rps": len(latencies) / wall_s if wall_s > 0 else 0.0,
+        "p50_ms": percentile(latencies, 50.0) * 1e3,
+        "p95_ms": percentile(latencies, 95.0) * 1e3,
+        "p99_ms": percentile(latencies, 99.0) * 1e3,
+        "mean_ms": sum(latencies) / len(latencies) * 1e3 if latencies else 0.0,
+    }
+
+
+def _serve(tmp: str, tag: str, n_workers: int) -> PlanServer:
+    clear_allocation_cache()  # no cross-phase warm-start: cold means cold
+    server = PlanServer(
+        ServerConfig(
+            address=f"unix:{tmp}/bench-{tag}.sock",
+            n_workers=n_workers,
+            metrics_interval_s=0.0,
+            default_deadline_s=None,
+        )
+    )
+    server.start()
+    return server
+
+
+def bench_service():
+    requests = build_requests()
+    report: dict = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "n_clients": N_CLIENTS,
+        "n_periods": N_PERIODS,
+        "n_distinct_plans": len(requests),
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        # ---- in-process executor: cold then warm over one daemon --------
+        server = _serve(tmp, "thread", n_workers=0)
+        try:
+            cold_lat, cold_err, cold_wall = drive(server.endpoint, requests, N_CLIENTS)
+            warm_lat, warm_err, warm_wall = drive(server.endpoint, requests, N_CLIENTS)
+            with PlanClient(server.endpoint, timeout=10.0) as status_client:
+                status = status_client.status()
+        finally:
+            server.stop()
+        # ---- 4-process executor: the same cold load, fresh daemon -------
+        worker_server = _serve(tmp, "procs", n_workers=PROCESS_WORKERS)
+        try:
+            proc_lat, proc_err, proc_wall = drive(
+                worker_server.endpoint, requests, N_CLIENTS
+            )
+        finally:
+            worker_server.stop()
+
+    errors = cold_err + warm_err + proc_err
+    report["cold"] = _phase_stats(cold_lat, cold_wall)
+    report["warm"] = _phase_stats(warm_lat, warm_wall)
+    report["workers"] = {
+        "1 (in-process)": {"wall_s": cold_wall,
+                           "throughput_rps": len(cold_lat) / cold_wall},
+        f"{PROCESS_WORKERS} (processes)": {"wall_s": proc_wall,
+                                           "throughput_rps": len(proc_lat) / proc_wall},
+    }
+    report["warm_vs_cold_p95"] = report["cold"]["p95_ms"] / report["warm"]["p95_ms"]
+    report["plan_cache"] = status["plan_cache"]
+    report["dropped_connections"] = len(errors)
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    emit(
+        "Plan service — {n} distinct plans, {c} concurrent clients\n"
+        "  cold:  {cw:.3f} s · {ct:.0f} req/s · "
+        "p50 {c50:.2f} / p95 {c95:.2f} / p99 {c99:.2f} ms\n"
+        "  warm:  {ww:.3f} s · {wt:.0f} req/s · "
+        "p50 {w50:.2f} / p95 {w95:.2f} / p99 {w99:.2f} ms\n"
+        "  {pw} process workers: {pws:.3f} s (vs {cw:.3f} s in-process)\n"
+        "  warm p95 speedup: {x:.1f}x · cache hits {h} · dropped {d}\n"
+        "  report: {path}".format(
+            n=len(requests),
+            c=N_CLIENTS,
+            cw=report["cold"]["wall_s"],
+            ct=report["cold"]["throughput_rps"],
+            c50=report["cold"]["p50_ms"],
+            c95=report["cold"]["p95_ms"],
+            c99=report["cold"]["p99_ms"],
+            ww=report["warm"]["wall_s"],
+            wt=report["warm"]["throughput_rps"],
+            w50=report["warm"]["p50_ms"],
+            w95=report["warm"]["p95_ms"],
+            w99=report["warm"]["p99_ms"],
+            pw=PROCESS_WORKERS,
+            pws=proc_wall,
+            x=report["warm_vs_cold_p95"],
+            h=report["plan_cache"]["hits"],
+            d=len(errors),
+            path=REPORT_PATH.name,
+        )
+    )
+
+    assert not errors, f"dropped connections / error responses: {errors[:3]}"
+    assert len(cold_lat) == len(requests), "cold phase lost requests"
+    assert len(warm_lat) == len(requests), "warm phase lost requests"
+    assert report["plan_cache"]["hits"] >= len(requests), "warm phase missed the cache"
+    assert report["warm_vs_cold_p95"] >= 10.0, (
+        f"warm p95 only {report['warm_vs_cold_p95']:.1f}x better than cold "
+        f"({report['cold']['p95_ms']:.2f} ms -> {report['warm']['p95_ms']:.2f} ms)"
+    )

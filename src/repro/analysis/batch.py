@@ -39,10 +39,9 @@ allocations are computed once per grid instead of once per cell.
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -55,6 +54,7 @@ from ..core.allocation import (
 )
 from ..core.pareto import OperatingFrontier
 from ..scenarios.paper import PaperScenario
+from ..util.jsonio import sanitize_for_json
 from .energy import EnergyRunResult, build_manager, run_demand_follower, run_managed
 
 __all__ = [
@@ -62,11 +62,13 @@ __all__ = [
     "CellSpec",
     "CellMetrics",
     "CellOutcome",
+    "CellExecutor",
     "SweepReport",
     "register_policy",
     "policy_names",
     "run_cell",
     "run_grid",
+    "warm_plans",
     "default_workers",
 ]
 
@@ -282,11 +284,8 @@ class SweepReport:
 
 
 def _jsonable(value: object) -> object:
-    try:
-        json.dumps(value)
-        return value
-    except TypeError:
-        return repr(value)
+    # Strict sanitizer: NaN/Inf → null, numpy → Python, opaque → repr.
+    return sanitize_for_json(value)
 
 
 # ----------------------------------------------------------------------
@@ -312,7 +311,7 @@ def _run_indexed_cell(item: tuple[int, CellSpec]) -> CellOutcome:
     return run_cell(spec, _worker_frontier, index=index)
 
 
-def _warm_plans(
+def warm_plans(
     cells: Sequence[CellSpec], frontier: OperatingFrontier | None
 ) -> int:
     """Pre-plan each unique planning scenario once (in the calling process).
@@ -331,6 +330,119 @@ def _warm_plans(
         seen.add(spec.scenario)
         build_manager(spec.scenario, frontier).plan()
     return len(seen)
+
+
+# Backwards-compatible private alias (pre-executor-refactor name).
+_warm_plans = warm_plans
+
+
+# ----------------------------------------------------------------------
+# the reusable executor (shared by run_grid and the plan-serving daemon)
+# ----------------------------------------------------------------------
+class CellExecutor:
+    """A long-lived evaluation engine for :class:`CellSpec` cells.
+
+    Wraps the pool / warm-start plumbing that used to live inline in
+    :func:`run_grid` so one-shot grid runs and the plan-serving daemon
+    share the exact same execution path:
+
+    * ``n_workers <= 1`` — cells run in this process on a single-thread
+      executor.  They share the parent's allocation memo directly, so a
+      resident daemon accumulates warm plans across requests for free.
+    * ``n_workers > 1`` — cells fan out over a ``ProcessPoolExecutor``
+      whose workers are warm-started with the parent memo's entries at
+      pool creation (each worker's memo then grows organically).
+
+    :meth:`submit` returns a ``concurrent.futures.Future`` resolving to a
+    :class:`CellOutcome`, which is what gives the daemon per-request
+    deadlines (bounded waits) and cancellation of still-queued work;
+    :meth:`map_cells` preserves :func:`run_grid`'s chunked-``map``
+    scheduling for whole grids.
+    """
+
+    def __init__(
+        self,
+        frontier: OperatingFrontier | None = None,
+        *,
+        n_workers: int = 0,
+        cache: bool = True,
+        warm_entries: "list[tuple[tuple, AllocationResult]] | None" = None,
+        mp_context=None,
+    ):
+        self.frontier = frontier
+        self.n_workers = max(0, int(n_workers))
+        self.cache = bool(cache)
+        self._closed = False
+        if self.n_workers <= 1:
+            self._mode = "thread"
+            self._pool: ThreadPoolExecutor | ProcessPoolExecutor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="cell-exec"
+            )
+            if self.cache and warm_entries:
+                preload_allocation_cache(warm_entries)
+        else:
+            self._mode = "process"
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=mp_context,
+                initializer=_init_worker,
+                initargs=(frontier, list(warm_entries or ()), self.cache),
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """``"thread"`` (in-process) or ``"process"`` (fan-out pool)."""
+        return self._mode
+
+    def warm(self, cells: Sequence[CellSpec]) -> int:
+        """Pre-plan the cells' unique planning scenarios into this process's
+        memo (thread mode: directly usable; process mode: call *before*
+        constructing the executor and pass ``allocation_cache_entries()``
+        as ``warm_entries`` instead)."""
+        return warm_plans(cells, self.frontier)
+
+    def submit(self, spec: CellSpec, *, index: int = 0) -> "Future[CellOutcome]":
+        """Schedule one cell; the future resolves to its :class:`CellOutcome`.
+
+        Futures for not-yet-started cells honour ``Future.cancel()`` — the
+        daemon's deadline path sheds queued work that can no longer make
+        its deadline.
+        """
+        if self._closed:
+            raise RuntimeError("executor is shut down")
+        if spec.policy not in _POLICIES:
+            raise ValueError(f"unknown policy {spec.policy!r}")
+        if self._mode == "thread":
+            return self._pool.submit(run_cell, spec, self.frontier, index=index)
+        return self._pool.submit(_run_indexed_cell, (index, spec))
+
+    def map_cells(
+        self, cells: Sequence[CellSpec], *, chunksize: int = 1
+    ) -> list[CellOutcome]:
+        """Evaluate a whole grid, preserving submission order."""
+        if self._closed:
+            raise RuntimeError("executor is shut down")
+        if self._mode == "thread":
+            return [
+                f.result()
+                for f in [self.submit(spec, index=i) for i, spec in enumerate(cells)]
+            ]
+        return list(
+            self._pool.map(_run_indexed_cell, enumerate(cells), chunksize=chunksize)
+        )
+
+    def shutdown(self, *, wait: bool = True, cancel_futures: bool = False) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+    def __enter__(self) -> "CellExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
 
 
 # ----------------------------------------------------------------------
@@ -401,21 +513,20 @@ def run_grid(
         entries: list[tuple[tuple, AllocationResult]] = []
         if cache and warm:
             t_warm = time.perf_counter()
-            _warm_plans(cells, frontier)
+            warm_plans(cells, frontier)
             entries = allocation_cache_entries()
             warm_s = time.perf_counter() - t_warm
 
         if chunksize is None:
             chunksize = max(1, -(-len(cells) // (4 * n_workers)))
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
+        with CellExecutor(
+            frontier,
+            n_workers=n_workers,
+            cache=cache,
+            warm_entries=entries,
             mp_context=mp_context,
-            initializer=_init_worker,
-            initargs=(frontier, entries, cache),
-        ) as pool:
-            outcomes = list(
-                pool.map(_run_indexed_cell, enumerate(cells), chunksize=chunksize)
-            )
+        ) as executor:
+            outcomes = executor.map_cells(cells, chunksize=chunksize)
     finally:
         set_allocation_cache_enabled(previous_cache)
 

@@ -1,9 +1,12 @@
-"""CSV export of traces and tables.
+"""CSV/JSON export of traces and tables.
 
 The ASCII renderings are for terminals; anything headed into an external
-plotting tool goes through these exporters.  All emit plain
+plotting tool goes through these exporters.  The CSV writers emit plain
 comma-separated text (no dependencies), with one header row and stable
-column ordering, so the output diffs cleanly across runs.
+column ordering, so the output diffs cleanly across runs.  The JSON
+writer goes through :mod:`repro.util.jsonio`, so non-finite floats — a
+plan-free policy's ``allocated_power`` is ``NaN`` per slot — serialize
+as ``null`` instead of the bare ``NaN`` token no strict parser accepts.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ from typing import Sequence
 
 from ..core.manager import ManagerStep
 from ..sim.tracing import SimTrace
+from ..util.jsonio import dumps_json
 from .energy import EnergyRunResult
 from .tables import AllocationTable, RuntimeTable
 
@@ -21,6 +25,7 @@ __all__ = [
     "runtime_table_csv",
     "allocation_table_csv",
     "energy_run_csv",
+    "energy_run_json",
     "manager_history_csv",
 ]
 
@@ -102,6 +107,32 @@ def energy_run_csv(result: EnergyRunResult) -> str:
         for k in range(result.used_power.size)
     ]
     return csv_lines(headers, rows)
+
+
+def energy_run_json(result: EnergyRunResult, *, indent: int | None = None) -> str:
+    """One energy-accounting run as a strict-JSON document.
+
+    Scalars and the per-slot series are included; NaN entries (plan-free
+    policies have no ``allocated_power``) become ``null``.
+    """
+    payload = {
+        "name": result.name,
+        "wasted": result.wasted,
+        "undersupplied": result.undersupplied,
+        "demand_shortfall": result.demand_shortfall,
+        "supplied": result.supplied,
+        "delivered": result.delivered,
+        "demand": result.demand,
+        "utilization": result.utilization,
+        "plan_iterations": result.plan_iterations,
+        "plan_used_fallback": result.plan_used_fallback,
+        "plan_feasible": result.plan_feasible,
+        "used_power": result.used_power,
+        "delivered_power": result.delivered_power,
+        "battery_level": result.battery_level,
+        "allocated_power": result.allocated_power,
+    }
+    return dumps_json(payload, indent=indent)
 
 
 def manager_history_csv(history: Sequence[ManagerStep]) -> str:

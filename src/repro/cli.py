@@ -14,12 +14,19 @@ Usage::
     python -m repro sweep [--workers N] [--scenarios paper|library|all]
                           [--supply-factors 1.0,0.9] [--json report.json]
                                       # batch grid runner (serial or parallel)
+    python -m repro serve --socket /tmp/repro-plan.sock [--workers N]
+                                      # the plan-serving daemon (docs/SERVICE.md)
+    python -m repro client plan --scenario scenario1 [--supply-factor 0.9]
+    python -m repro client status     # thin client for the daemon
+
+Every subcommand accepts ``--log-level``; planner or simulation failures
+exit nonzero with a one-line error instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
+import logging
 import sys
 
 from .analysis.batch import CellSpec, default_workers, run_grid
@@ -29,8 +36,28 @@ from .analysis.sweep import sweep_scenarios
 from .analysis.tables import allocation_table, runtime_table, table1
 from .scenarios.library import library_scenarios
 from .scenarios.paper import pama_frontier, paper_scenarios, scenario1, scenario2
+from .util.jsonio import dump_json, dumps_json
 
 __all__ = ["main"]
+
+_LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def _add_log_level(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        default="warning",
+        help="root logging threshold (shared by all subcommands; default warning)",
+    )
+
+
+def _configure_logging(level_name: str) -> None:
+    logging.basicConfig(
+        level=getattr(logging, level_name.upper()),
+        format="%(asctime)s %(levelname)s %(name)s %(message)s",
+        force=True,
+    )
 
 EXPERIMENTS = ("table1", "table2", "table3", "table4", "table5", "fig3", "fig4")
 EXTRAS = ("library", "sweep")
@@ -107,7 +134,9 @@ def _run_sweep(args) -> str:
     )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(report.summary(), fh, indent=2)
+            # Strict JSON: NaN (plan-free allocated power, degenerate knobs)
+            # serializes as null, never as the bare NaN token.
+            dump_json(report.summary(), fh, indent=2)
     table = format_table(
         ["scenario", "policy", "supply factor", "wasted (J)",
          "undersupplied (J)", "utilization"],
@@ -126,12 +155,164 @@ def _run_sweep(args) -> str:
     return table + "\n" + footer
 
 
+def _serve_main(argv: list[str]) -> int:
+    """The ``serve`` subcommand: run the plan-serving daemon until SIGTERM."""
+    from .service.server import PlanServer, ServerConfig
+
+    parser = argparse.ArgumentParser(
+        prog="repro-dpm serve",
+        description="Run the plan-serving daemon (see docs/SERVICE.md).",
+    )
+    parser.add_argument(
+        "--socket",
+        default="unix:repro-plan.sock",
+        metavar="ADDR",
+        help="bind address: unix:PATH or HOST:PORT (default unix:repro-plan.sock)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes (0/1 = in-process execution, default 0)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=1024, metavar="N",
+        help="plan-LRU entries (default 1024)",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="in-flight computations before load-shedding (default 64)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=30.0, metavar="S",
+        help="default per-request deadline in seconds; 0 = none (default 30)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="S",
+        help="bound on the SIGTERM drain (default 10)",
+    )
+    parser.add_argument(
+        "--metrics-interval", type=float, default=60.0, metavar="S",
+        help="periodic structured metrics log cadence; 0 disables (default 60)",
+    )
+    parser.add_argument(
+        "--alloc-memo-size", type=int, default=None, metavar="N",
+        help="resize the process allocation memo (default: leave as-is)",
+    )
+    _add_log_level(parser)
+    args = parser.parse_args(argv)
+    _configure_logging(args.log_level)
+    config = ServerConfig(
+        address=args.socket,
+        n_workers=args.workers,
+        cache_size=args.cache_size,
+        max_pending=args.max_pending,
+        default_deadline_s=args.deadline if args.deadline > 0 else None,
+        drain_timeout_s=args.drain_timeout,
+        metrics_interval_s=args.metrics_interval,
+        alloc_memo_size=args.alloc_memo_size,
+    )
+    server = PlanServer(config)
+    try:
+        server.start()
+    except (OSError, RuntimeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    server.install_signal_handlers()
+    print(f"serving on {server.endpoint} (SIGTERM to drain)", flush=True)
+    server.serve_forever()
+    return 0
+
+
+def _client_main(argv: list[str]) -> int:
+    """The ``client`` subcommand: one RPC against a running daemon."""
+    from .service.client import PlanClient, PlanServiceError
+
+    parser = argparse.ArgumentParser(
+        prog="repro-dpm client",
+        description="Issue one request to a running plan daemon.",
+    )
+    parser.add_argument(
+        "op", choices=("plan", "sweep", "status", "ping", "shutdown"),
+        help="request to issue",
+    )
+    parser.add_argument(
+        "--socket", default="unix:repro-plan.sock", metavar="ADDR",
+        help="daemon address: unix:PATH or HOST:PORT",
+    )
+    parser.add_argument("--scenario", default="scenario1", help="plan: scenario name")
+    parser.add_argument(
+        "--scenarios", default="scenario1,scenario2", metavar="S1,S2",
+        help="sweep: comma-separated scenario names",
+    )
+    parser.add_argument("--policy", default="proposed", help="plan: policy name")
+    parser.add_argument(
+        "--policies", default="proposed,static", metavar="P1,P2",
+        help="sweep: comma-separated policies",
+    )
+    parser.add_argument("--periods", type=int, default=2, metavar="N")
+    parser.add_argument("--supply-factor", type=float, default=1.0, metavar="F")
+    parser.add_argument(
+        "--supply-factors", default="", metavar="F1,F2",
+        help="sweep: comma-separated supply factors",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="per-request deadline in seconds",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="S",
+        help="socket timeout (default 60)",
+    )
+    _add_log_level(parser)
+    args = parser.parse_args(argv)
+    _configure_logging(args.log_level)
+    try:
+        with PlanClient(args.socket, timeout=args.timeout) as client:
+            if args.op == "plan":
+                result = client.plan(
+                    args.scenario,
+                    policy=args.policy,
+                    n_periods=args.periods,
+                    supply_factor=args.supply_factor,
+                    deadline_s=args.deadline,
+                )
+            elif args.op == "sweep":
+                factors = [
+                    float(f) for f in args.supply_factors.split(",") if f.strip()
+                ] or None
+                result = client.sweep(
+                    [s.strip() for s in args.scenarios.split(",") if s.strip()],
+                    policies=[p.strip() for p in args.policies.split(",") if p.strip()],
+                    supply_factors=factors,
+                    n_periods=args.periods,
+                    deadline_s=args.deadline,
+                )
+            elif args.op == "status":
+                result = client.status()
+            elif args.op == "ping":
+                result = client.ping()
+            else:
+                result = client.shutdown()
+    except (OSError, PlanServiceError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(dumps_json(result, indent=2))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    # serve/client carry their own flag sets; dispatch before the
+    # experiment parser so `repro serve --workers 4` parses cleanly.
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        return _client_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-dpm",
         description=(
             "Reproduce the evaluation of 'Dynamic Power Management of "
-            "Multiprocessor Systems' (IPPS 2002)."
+            "Multiprocessor Systems' (IPPS 2002).  'serve' and 'client' "
+            "run/talk to the plan-serving daemon (see docs/SERVICE.md)."
         ),
     )
     parser.add_argument(
@@ -186,7 +367,9 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also write the sweep run report as JSON",
     )
+    _add_log_level(parser)
     args = parser.parse_args(argv)
+    _configure_logging(args.log_level)
     if args.periods < 1:
         parser.error("--periods must be >= 1")
     if args.workers != "auto":
@@ -196,15 +379,22 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError:
             parser.error("--workers must be a non-negative integer or 'auto'")
 
-    if args.experiment == "sweep":
-        print(_run_sweep(args))
+    # Planner/simulation failures are operational outcomes, not crashes:
+    # report one line on stderr and exit nonzero for scripts to catch.
+    try:
+        if args.experiment == "sweep":
+            print(_run_sweep(args))
+            return 0
+        targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        chunks = [
+            _render(t, csv=args.csv, n_periods=args.periods) for t in targets
+        ]
+        print("\n\n".join(chunks))
         return 0
-    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    chunks = [
-        _render(t, csv=args.csv, n_periods=args.periods) for t in targets
-    ]
-    print("\n\n".join(chunks))
-    return 0
+    except (ValueError, RuntimeError, ArithmeticError, OSError) as exc:
+        logging.getLogger(__name__).debug("experiment failed", exc_info=True)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests

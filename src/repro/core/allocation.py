@@ -66,11 +66,14 @@ __all__ = [
     "adjust_power_schedule",
     "allocate",
     "allocate_cached",
+    "allocation_key",
     "allocation_cache_stats",
     "allocation_cache_entries",
     "preload_allocation_cache",
     "clear_allocation_cache",
     "set_allocation_cache_enabled",
+    "set_allocation_cache_maxsize",
+    "allocation_cache_maxsize",
     "greedy_feasible_allocation",
 ]
 
@@ -540,6 +543,38 @@ def _allocation_key(
     )
 
 
+def allocation_key(
+    charging: Schedule,
+    desired_usage: Schedule,
+    spec: BatterySpec,
+    *,
+    initial_level: float | None = None,
+    usage_floor: float = 0.0,
+    usage_ceiling: float | None = None,
+    max_iterations: int = 8,
+    tol: float = 1e-9,
+    fallback: str = "greedy",
+) -> tuple:
+    """The content key :func:`allocate_cached` files a problem under.
+
+    Public so out-of-module caches (the plan-serving daemon's LRU, worker
+    warm-start shipping) can key by the *same* content hash the memo uses:
+    two problems share a key iff :func:`allocate` would return the same
+    result for both.
+    """
+    return _allocation_key(
+        charging,
+        desired_usage,
+        spec,
+        initial_level,
+        usage_floor,
+        usage_ceiling,
+        max_iterations,
+        tol,
+        fallback,
+    )
+
+
 def allocate_cached(
     charging: Schedule,
     desired_usage: Schedule,
@@ -637,6 +672,27 @@ def clear_allocation_cache() -> None:
     global _alloc_hits, _alloc_misses
     _alloc_cache.clear()
     _alloc_hits = _alloc_misses = 0
+
+
+def set_allocation_cache_maxsize(maxsize: int) -> int:
+    """Resize the memo (returns the previous bound), evicting LRU-first.
+
+    Long-running processes — the plan-serving daemon in particular — size
+    the memo to their expected working set instead of the one-shot default.
+    """
+    global _ALLOC_CACHE_MAXSIZE
+    if maxsize < 1:
+        raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+    previous = _ALLOC_CACHE_MAXSIZE
+    _ALLOC_CACHE_MAXSIZE = int(maxsize)
+    while len(_alloc_cache) > _ALLOC_CACHE_MAXSIZE:
+        _alloc_cache.popitem(last=False)
+    return previous
+
+
+def allocation_cache_maxsize() -> int:
+    """The memo's current entry bound."""
+    return _ALLOC_CACHE_MAXSIZE
 
 
 def set_allocation_cache_enabled(enabled: bool) -> bool:

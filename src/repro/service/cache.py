@@ -1,0 +1,110 @@
+"""The bounded plan cache fronting the daemon's planner.
+
+A thread-safe LRU mapping request content digests (see
+:meth:`repro.service.protocol.PlanRequest.digest`) to finished plan
+payloads.  It sits *in front of* the allocation memo in
+:mod:`repro.core.allocation`: a hit here skips request dispatch entirely
+(no executor round-trip, no re-simulation), while the memo below still
+deduplicates the Algorithm-1 work of distinct requests that share an
+allocation problem.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+__all__ = ["CacheStats", "LRUCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Lifetime counters of one :class:`LRUCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache(Generic[K, V]):
+    """A lock-protected, bounded, least-recently-used mapping."""
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: K) -> "V | None":
+        """The cached value, freshened to most-recently-used; None on miss."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._data.move_to_end(key)
+            return value
+
+    def peek(self, key: K) -> "V | None":
+        """Like :meth:`get` but without touching stats or recency — for
+        double-checked probes that already counted a miss."""
+        with self._lock:
+            return self._data.get(key)
+
+    def put(self, key: K, value: V) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )

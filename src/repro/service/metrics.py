@@ -1,0 +1,171 @@
+"""First-class observability for the serving path.
+
+The daemon is measurable from day one: every request increments a
+counter, every completion lands its latency in a histogram, the ``status``
+RPC returns :meth:`ServiceMetrics.snapshot`, and a background thread
+emits :meth:`ServiceMetrics.log_line` — one structured JSON line — every
+``metrics_interval_s`` (see :class:`repro.service.server.ServerConfig`).
+
+Everything here is dependency-free and thread-safe.  Histograms keep a
+bounded rolling window of raw observations (exact percentiles over the
+recent past, bounded memory forever) alongside lifetime count/sum/min/max.
+
+Metrics glossary: ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+from typing import Sequence
+
+__all__ = ["percentile", "Histogram", "ServiceMetrics"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) by linear interpolation.
+
+    NaN for an empty sequence; ``values`` need not be sorted.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+class Histogram:
+    """Latency distribution: lifetime aggregates + a rolling sample window.
+
+    ``window`` bounds memory; percentiles are exact over the last
+    ``window`` observations, which is the operationally useful view for a
+    long-running daemon (old latencies should age out of p95 anyway).
+    """
+
+    def __init__(self, window: int = 8192):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._samples: "deque[float]" = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._samples.append(value)
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> float:
+        with self._lock:
+            return percentile(list(self._samples), q)
+
+    def snapshot(self) -> dict:
+        """count/mean over the lifetime; min/max/percentiles — JSON-safe
+        (empty histograms report nulls, not NaN)."""
+        with self._lock:
+            samples = list(self._samples)
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+        def _f(v: float) -> "float | None":
+            return float(v) if math.isfinite(v) else None
+        return {
+            "count": count,
+            "mean": _f(total / count) if count else None,
+            "min": _f(lo),
+            "max": _f(hi),
+            "p50": _f(percentile(samples, 50.0)),
+            "p95": _f(percentile(samples, 95.0)),
+            "p99": _f(percentile(samples, 99.0)),
+        }
+
+
+class ServiceMetrics:
+    """The daemon's counter/histogram registry.
+
+    Counters and histograms are created on first touch, so instrumentation
+    points stay one-liners (``metrics.inc("requests_total")``,
+    ``metrics.observe("latency_plan_s", dt)``).
+    """
+
+    def __init__(self, *, histogram_window: int = 8192):
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._histogram_window = histogram_window
+        self._started_monotonic = time.monotonic()
+        self._started_wall = time.time()
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(self._histogram_window)
+        hist.observe(value)
+
+    def histogram(self, name: str) -> "Histogram | None":
+        with self._lock:
+            return self._histograms.get(name)
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything, JSON-serializable (the ``status`` RPC's payload)."""
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            histograms = dict(self._histograms)
+        return {
+            "uptime_s": self.uptime_s,
+            "started_at_unix": self._started_wall,
+            "counters": counters,
+            "histograms": {
+                name: hist.snapshot() for name, hist in sorted(histograms.items())
+            },
+        }
+
+    def log_line(self, **extra: object) -> str:
+        """One structured JSON log line summarizing current state."""
+        snap = self.snapshot()
+        payload: dict[str, object] = {
+            "event": "service_metrics",
+            "uptime_s": round(snap["uptime_s"], 3),
+            "counters": snap["counters"],
+        }
+        for name, hist in snap["histograms"].items():
+            payload[name] = {
+                k: hist[k] for k in ("count", "p50", "p95", "p99") if hist[k] is not None
+            }
+        payload.update(extra)
+        return json.dumps(payload, sort_keys=True, allow_nan=False)

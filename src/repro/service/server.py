@@ -1,0 +1,650 @@
+"""The plan-serving daemon.
+
+:class:`PlanServer` is the paper's resident controller as a service: a
+long-running process that turns plan requests into ``(n, f, v)``
+allocation results over a Unix or TCP socket, speaking the NDJSON
+protocol of :mod:`repro.service.protocol`.
+
+Serving model
+-------------
+* **Connections** — one thread per connection; requests on a connection
+  are answered in order.  Concurrency comes from opening more
+  connections (the bench drives 8 at once).
+* **Caching** — finished plans live in a bounded LRU keyed by the
+  request content digest.  A hit is answered in the connection thread,
+  no dispatch at all.
+* **Coalescing** — concurrent identical misses share one computation:
+  the first requester submits to the executor, later ones attach to the
+  same future.
+* **Batching** — distinct misses fan out over the shared
+  :class:`~repro.analysis.batch.CellExecutor` (the same pool/warm-start
+  machinery the sweep runner uses), in-process for ``n_workers <= 1`` or
+  across a warm-started ``ProcessPoolExecutor`` otherwise.
+* **Deadlines** — a request's ``deadline_s`` (or the server default)
+  bounds its wait.  On expiry the waiter answers ``deadline_exceeded``
+  immediately; if it was the computation's last waiter and the work has
+  not started, the future is cancelled (best-effort cancellation —
+  running work completes and still populates the cache).
+* **Backpressure** — at most ``max_pending`` computations may be in
+  flight; beyond that, requests are *load-shed* with an ``overloaded``
+  error response instead of queueing unboundedly.
+* **Drain** — SIGTERM/SIGINT (or the ``shutdown`` RPC) stop accepting
+  work, let in-flight computations finish (bounded by
+  ``drain_timeout_s``), flush their responses, and exit cleanly.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import socket
+import threading
+import time
+from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..analysis.batch import CellExecutor, CellOutcome, CellSpec, policy_names
+from ..core.allocation import (
+    allocation_cache_entries,
+    allocation_cache_maxsize,
+    allocation_cache_stats,
+    set_allocation_cache_maxsize,
+)
+from ..core.pareto import OperatingFrontier
+from ..scenarios.paper import pama_frontier
+from .cache import LRUCache
+from .metrics import ServiceMetrics
+from .protocol import (
+    MAX_LINE_BYTES,
+    PlanRequest,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_address,
+    resolve_scenario,
+    scenario_names,
+)
+
+__all__ = ["ServerConfig", "PlanServer"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one :class:`PlanServer`."""
+
+    address: str = "unix:repro-plan.sock"  #: ``unix:PATH`` or ``HOST:PORT``
+    n_workers: int = 0  #: 0/1 = in-process execution; N>1 = process pool
+    cache_size: int = 1024  #: plan-LRU entries
+    max_pending: int = 64  #: in-flight computations before load-shedding
+    max_sweep_cells: int = 512  #: largest grid one ``sweep`` request may ask for
+    default_deadline_s: "float | None" = 30.0  #: None = wait forever
+    drain_timeout_s: float = 10.0  #: bound on the SIGTERM drain
+    metrics_interval_s: float = 60.0  #: periodic log cadence (0 disables)
+    alloc_memo_size: "int | None" = None  #: resize the allocation memo
+    accept_backlog: int = 128
+
+
+class _Inflight:
+    """One in-flight plan computation plus its attached waiter count."""
+
+    __slots__ = ("future", "waiters")
+
+    def __init__(self, future):
+        self.future = future
+        self.waiters = 0
+
+
+class PlanServer:
+    """See the module docstring for the serving model."""
+
+    def __init__(
+        self,
+        config: "ServerConfig | None" = None,
+        *,
+        frontier: "OperatingFrontier | None" = None,
+    ):
+        self.config = config or ServerConfig()
+        self.frontier = frontier if frontier is not None else pama_frontier()
+        self.metrics = ServiceMetrics()
+        self._plan_cache: "LRUCache[str, dict]" = LRUCache(self.config.cache_size)
+        self._executor: "CellExecutor | None" = None
+        self._listener: "socket.socket | None" = None
+        self._endpoint: "str | None" = None
+        self._unix_path: "str | None" = None
+
+        self._dispatch_lock = threading.Lock()
+        self._inflight: "dict[str, _Inflight]" = {}
+        self._pending = 0
+
+        self._threads: "list[threading.Thread]" = []
+        self._conns: "dict[int, socket.socket]" = {}
+        self._conn_lock = threading.Lock()
+
+        self._started = False
+        self._stop_lock = threading.Lock()
+        self._stopping = False
+        self._draining = threading.Event()
+        self._stop_event = threading.Event()
+        self._stopped = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def endpoint(self) -> str:
+        """The bound address (with the real port for ``tcp:...:0`` binds)."""
+        if self._endpoint is None:
+            raise RuntimeError("server is not started")
+        return self._endpoint
+
+    def start(self) -> None:
+        """Bind, start the acceptor and metrics threads, build the executor."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        if self.config.alloc_memo_size is not None:
+            set_allocation_cache_maxsize(self.config.alloc_memo_size)
+        self._executor = CellExecutor(
+            self.frontier,
+            n_workers=self.config.n_workers,
+            cache=True,
+            warm_entries=allocation_cache_entries(),
+        )
+        self._listener = self._bind(self.config.address)
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="plan-server-accept", daemon=True
+        )
+        acceptor.start()
+        self._threads.append(acceptor)
+        if self.config.metrics_interval_s > 0:
+            reporter = threading.Thread(
+                target=self._metrics_loop, name="plan-server-metrics", daemon=True
+            )
+            reporter.start()
+            self._threads.append(reporter)
+        logger.info(
+            "plan server listening on %s (%s executor, %d workers, "
+            "cache %d, max_pending %d)",
+            self._endpoint,
+            self._executor.mode,
+            self.config.n_workers,
+            self.config.cache_size,
+            self.config.max_pending,
+        )
+
+    def _bind(self, address: str) -> socket.socket:
+        parsed = parse_address(address)
+        if parsed[0] == "unix":
+            path = parsed[1]
+            if os.path.exists(path):
+                probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                try:
+                    probe.connect(path)
+                except OSError:
+                    os.unlink(path)  # stale socket from a dead daemon
+                else:
+                    probe.close()
+                    raise RuntimeError(f"address {path!r} already has a live server")
+                finally:
+                    probe.close()
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.bind(path)
+            self._unix_path = path
+            self._endpoint = f"unix:{path}"
+        else:
+            _, host, port = parsed
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, port))
+            self._endpoint = f"tcp:{host}:{sock.getsockname()[1]}"
+        sock.listen(self.config.accept_backlog)
+        return sock
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and block until the server has fully stopped."""
+        if not self._started:
+            self.start()
+        while not self._stopped.wait(0.2):
+            pass
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (call from the main thread)."""
+
+        def _handler(signum: int, frame) -> None:
+            logger.info("received signal %d: draining", signum)
+            threading.Thread(
+                target=self.stop, name="plan-server-drain", daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, _handler)
+        signal.signal(signal.SIGINT, _handler)
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Stop serving; with ``drain``, finish in-flight work first."""
+        with self._stop_lock:
+            if self._stopping:
+                self._stopped.wait(self.config.drain_timeout_s + 5.0)
+                return
+            self._stopping = True
+        self._draining.set()
+        self._stop_event.set()
+        if self._listener is not None:
+            # shutdown() before close(): closing alone does not wake a
+            # blocked accept() on Linux, which would stall the drain on
+            # the acceptor thread's join timeout.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if drain:
+            deadline = time.monotonic() + self.config.drain_timeout_s
+            while time.monotonic() < deadline:
+                with self._dispatch_lock:
+                    if self._pending == 0:
+                        break
+                time.sleep(0.005)
+        if self._executor is not None:
+            # Cancelled futures wake any remaining waiters with a
+            # ``shutting_down`` response — shed, never hung.
+            self._executor.shutdown(wait=True, cancel_futures=True)
+        # Unblock connection readers; each thread flushes its last write
+        # and closes its own socket on the way out.
+        with self._conn_lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=2.0)
+        with self._conn_lock:
+            for conn in self._conns.values():
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            self._conns.clear()
+        if self._unix_path and os.path.exists(self._unix_path):
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+        logger.info("%s", self.metrics.log_line(event="service_stopped"))
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # connection plumbing
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        assert listener is not None
+        while not self._stop_event.is_set():
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            self.metrics.inc("connections_opened")
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="plan-server-conn",
+                daemon=True,
+            )
+            with self._conn_lock:
+                self._conns[id(conn)] = conn
+            self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        fh = conn.makefile("rb")
+        try:
+            while True:
+                line = fh.readline(MAX_LINE_BYTES + 1)
+                if not line:
+                    break
+                response = self._handle_line(line)
+                try:
+                    conn.sendall(encode_message(response))
+                except OSError:
+                    break
+        finally:
+            try:
+                fh.close()
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._conn_lock:
+                self._conns.pop(id(conn), None)
+            self.metrics.inc("connections_closed")
+
+    # ------------------------------------------------------------------
+    # request dispatch
+    # ------------------------------------------------------------------
+    def _handle_line(self, line: bytes) -> dict:
+        try:
+            message = decode_message(line)
+        except ProtocolError as exc:
+            self.metrics.inc("requests_total")
+            self.metrics.inc(f"errors_{exc.code}")
+            return error_response(None, exc.code, exc.message)
+        request_id = message.get("id")
+        op = message.get("op")
+        self.metrics.inc("requests_total")
+        self.metrics.inc(f"requests_{op}" if isinstance(op, str) else "requests_invalid")
+        t0 = time.perf_counter()
+        try:
+            result = self._dispatch(op, message)
+            response = ok_response(request_id, result)
+        except ProtocolError as exc:
+            self.metrics.inc(f"errors_{exc.code}")
+            response = error_response(request_id, exc.code, exc.message)
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("internal error serving %r", op)
+            self.metrics.inc("errors_internal")
+            response = error_response(request_id, "internal", f"{type(exc).__name__}: {exc}")
+        finally:
+            if isinstance(op, str):
+                self.metrics.observe(f"latency_{op}_s", time.perf_counter() - t0)
+        return response
+
+    def _dispatch(self, op: object, message: Mapping) -> dict:
+        if op == "ping":
+            return {"pong": True, "draining": self._draining.is_set()}
+        if op == "status":
+            return self._handle_status()
+        if self._draining.is_set():
+            raise ProtocolError("shutting_down", "daemon is draining; retry elsewhere")
+        if op == "plan":
+            return self._handle_plan(message)
+        if op == "sweep":
+            return self._handle_sweep(message)
+        if op == "shutdown":
+            threading.Thread(
+                target=self.stop, name="plan-server-shutdown", daemon=True
+            ).start()
+            return {"stopping": True}
+        raise ProtocolError(
+            "bad_request",
+            f"unknown op {op!r}; known: plan, sweep, status, ping, shutdown",
+        )
+
+    # ------------------------------------------------------------------
+    def _handle_plan(self, message: Mapping) -> dict:
+        request = PlanRequest.from_payload(message)
+        digest = request.digest()
+        cached = self._plan_cache.get(digest)
+        if cached is not None:
+            self.metrics.inc("plan_cache_hits")
+            return {**cached, "cached": True}
+        self.metrics.inc("plan_cache_misses")
+        deadline_s = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        executor = self._executor
+        assert executor is not None
+        submitted = False
+        with self._dispatch_lock:
+            if self._draining.is_set():
+                raise ProtocolError("shutting_down", "daemon is draining")
+            entry = self._inflight.get(digest)
+            if entry is None:
+                # The computation may have finished between the cache probe
+                # and taking the lock; its done-callback cached the payload.
+                finished = self._plan_cache.peek(digest)
+                if finished is not None:
+                    self.metrics.inc("plan_cache_hits")
+                    return {**finished, "cached": True}
+                if self._pending >= self.config.max_pending:
+                    self.metrics.inc("requests_shed")
+                    raise ProtocolError(
+                        "overloaded",
+                        f"{self._pending} computations in flight "
+                        f"(max_pending={self.config.max_pending}); retry later",
+                    )
+                future = executor.submit(request.to_cell_spec())
+                self._pending += 1
+                entry = _Inflight(future)
+                self._inflight[digest] = entry
+                submitted = True
+            else:
+                self.metrics.inc("plan_coalesced")
+            entry.waiters += 1
+        if submitted:
+            # Registered outside the lock: a future that finished already
+            # runs its callback inline here, and the callback itself takes
+            # the dispatch lock.
+            entry.future.add_done_callback(
+                lambda f, d=digest, r=request: self._on_plan_done(d, r, f)
+            )
+        try:
+            outcome = entry.future.result(timeout=deadline_s)
+        except (FuturesTimeoutError, TimeoutError):
+            self.metrics.inc("deadline_exceeded")
+            raise ProtocolError(
+                "deadline_exceeded",
+                f"plan {digest[:12]} not ready within {deadline_s}s",
+            ) from None
+        except CancelledError:
+            raise ProtocolError(
+                "shutting_down", "plan computation cancelled during drain"
+            ) from None
+        except Exception as exc:
+            raise ProtocolError(
+                "internal", f"plan computation failed: {type(exc).__name__}: {exc}"
+            ) from exc
+        finally:
+            # The cancel must happen outside the lock: cancelling a queued
+            # future runs its done-callback inline, and the callback takes
+            # this lock.  Unpublishing the entry first keeps later
+            # identical requests from attaching to a future that is about
+            # to be cancelled.
+            with self._dispatch_lock:
+                entry.waiters -= 1
+                abandoned = (
+                    entry.waiters == 0
+                    and not entry.future.done()
+                    and not entry.future.running()
+                )
+                if abandoned:
+                    self._inflight.pop(digest, None)
+            if abandoned and entry.future.cancel():
+                self.metrics.inc("plans_cancelled")
+        return {**self._plan_payload(request, digest, outcome), "cached": False}
+
+    def _on_plan_done(self, digest: str, request: PlanRequest, future) -> None:
+        with self._dispatch_lock:
+            self._inflight.pop(digest, None)
+            self._pending -= 1
+        if future.cancelled() or future.exception() is not None:
+            return
+        self._plan_cache.put(
+            digest, self._plan_payload(request, digest, future.result())
+        )
+
+    @staticmethod
+    def _plan_payload(request: PlanRequest, digest: str, outcome: CellOutcome) -> dict:
+        result = outcome.cell.result
+        return {
+            "scenario": request.scenario,
+            "policy": request.policy,
+            "n_periods": request.n_periods,
+            "supply_factor": request.supply_factor,
+            "digest": digest,
+            "wasted": float(result.wasted),
+            "undersupplied": float(result.undersupplied),
+            "utilization": float(result.utilization),
+            "plan_iterations": result.plan_iterations,
+            "plan_used_fallback": result.plan_used_fallback,
+            "plan_feasible": result.plan_feasible,
+            "allocated_power": result.allocated_power,  # NaN → null on encode
+            "compute_wall_s": outcome.metrics.wall_s,
+            "alloc_cache_hits": outcome.metrics.cache_hits,
+            "alloc_cache_misses": outcome.metrics.cache_misses,
+        }
+
+    # ------------------------------------------------------------------
+    def _handle_sweep(self, message: Mapping) -> dict:
+        names = message.get("scenarios")
+        if not isinstance(names, list) or not names:
+            raise ProtocolError("bad_request", "scenarios must be a non-empty list")
+        policies = message.get("policies", ["proposed", "static"])
+        if not isinstance(policies, list) or not policies:
+            raise ProtocolError("bad_request", "policies must be a non-empty list")
+        factors = message.get("supply_factors") or [None]
+        if not isinstance(factors, list) or not factors:
+            raise ProtocolError("bad_request", "supply_factors must be a list")
+        n_periods = message.get("n_periods", 2)
+        if not isinstance(n_periods, int) or isinstance(n_periods, bool) or n_periods < 1:
+            raise ProtocolError("bad_request", "n_periods must be an int >= 1")
+        deadline = message.get("deadline_s", self.config.default_deadline_s)
+        for policy in policies:
+            if policy not in policy_names():
+                raise ProtocolError("unknown_policy", f"unknown policy {policy!r}")
+        # Same grid nesting as the one-shot CLI sweep: scenario × factor × policy.
+        cells = [
+            CellSpec(
+                scenario=resolve_scenario(name),
+                policy=policy,
+                knob=factor,
+                n_periods=n_periods,
+                supply_factor=1.0 if factor is None else float(factor),
+            )
+            for name in names
+            for factor in factors
+            for policy in policies
+        ]
+        if len(cells) > self.config.max_sweep_cells:
+            raise ProtocolError(
+                "bad_request",
+                f"{len(cells)} cells exceeds max_sweep_cells="
+                f"{self.config.max_sweep_cells}",
+            )
+        executor = self._executor
+        assert executor is not None
+        t0 = time.perf_counter()
+        with self._dispatch_lock:
+            if self._pending + len(cells) > self.config.max_pending:
+                self.metrics.inc("requests_shed")
+                raise ProtocolError(
+                    "overloaded",
+                    f"sweep of {len(cells)} cells would exceed "
+                    f"max_pending={self.config.max_pending}; retry later",
+                )
+            futures = []
+            for index, spec in enumerate(cells):
+                future = executor.submit(spec, index=index)
+                self._pending += 1
+                futures.append(future)
+        for future in futures:
+            # Outside the lock — the callback takes it (see _handle_plan).
+            future.add_done_callback(self._on_sweep_cell_done)
+        end = None if deadline is None else time.monotonic() + float(deadline)
+        rows = []
+        try:
+            for future, spec in zip(futures, cells):
+                timeout = None if end is None else max(0.0, end - time.monotonic())
+                try:
+                    outcome = future.result(timeout=timeout)
+                except (FuturesTimeoutError, TimeoutError):
+                    self.metrics.inc("deadline_exceeded")
+                    raise ProtocolError(
+                        "deadline_exceeded",
+                        f"sweep not finished within {deadline}s",
+                    ) from None
+                except CancelledError:
+                    raise ProtocolError(
+                        "shutting_down", "sweep cancelled during drain"
+                    ) from None
+                except Exception as exc:
+                    raise ProtocolError(
+                        "internal",
+                        f"sweep cell failed: {type(exc).__name__}: {exc}",
+                    ) from exc
+                result = outcome.cell.result
+                rows.append(
+                    {
+                        "scenario": spec.scenario.name,
+                        "policy": spec.policy,
+                        "supply_factor": spec.supply_factor,
+                        "wasted": float(result.wasted),
+                        "undersupplied": float(result.undersupplied),
+                        "utilization": float(result.utilization),
+                        "plan_iterations": result.plan_iterations,
+                    }
+                )
+        finally:
+            for future in futures:
+                future.cancel()
+        return {
+            "n_cells": len(cells),
+            "wall_s": time.perf_counter() - t0,
+            "rows": rows,
+        }
+
+    def _on_sweep_cell_done(self, future) -> None:
+        with self._dispatch_lock:
+            self._pending -= 1
+
+    # ------------------------------------------------------------------
+    def _handle_status(self) -> dict:
+        executor = self._executor
+        memo = allocation_cache_stats()
+        with self._dispatch_lock:
+            pending = self._pending
+            inflight = len(self._inflight)
+        return {
+            "server": {
+                "address": self._endpoint,
+                "pid": os.getpid(),
+                "uptime_s": self.metrics.uptime_s,
+                "draining": self._draining.is_set(),
+                "n_workers": self.config.n_workers,
+                "executor_mode": executor.mode if executor is not None else None,
+                "pending": pending,
+                "inflight": inflight,
+                "max_pending": self.config.max_pending,
+                "default_deadline_s": self.config.default_deadline_s,
+                "scenarios": list(scenario_names()),
+                "policies": list(policy_names()),
+            },
+            "plan_cache": self._plan_cache.stats().as_dict(),
+            "allocation_memo": {
+                "hits": memo.hits,
+                "misses": memo.misses,
+                "size": memo.size,
+                "maxsize": allocation_cache_maxsize(),
+                "hit_rate": memo.hit_rate,
+            },
+            "metrics": self.metrics.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    def _metrics_loop(self) -> None:
+        while not self._stop_event.wait(self.config.metrics_interval_s):
+            with self._dispatch_lock:
+                pending = self._pending
+            logger.info(
+                "%s",
+                self.metrics.log_line(
+                    pending=pending,
+                    plan_cache_size=len(self._plan_cache),
+                ),
+            )

@@ -1,7 +1,8 @@
-"""Shared utilities: time grids, schedules, validation."""
+"""Shared utilities: time grids, schedules, validation, strict JSON."""
 
 from .timegrid import TimeGrid
 from .schedule import Schedule
+from .jsonio import dump_json, dumps_json, sanitize_for_json
 from .validation import (
     as_float_array,
     check_finite,
@@ -15,6 +16,9 @@ from .validation import (
 __all__ = [
     "TimeGrid",
     "Schedule",
+    "dump_json",
+    "dumps_json",
+    "sanitize_for_json",
     "as_float_array",
     "check_finite",
     "check_finite_array",

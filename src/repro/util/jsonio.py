@@ -1,0 +1,66 @@
+"""Strict JSON writing for reports and the service protocol.
+
+``json.dump`` happily emits bare ``NaN``/``Infinity`` tokens (Python
+extensions that no JSON parser is required to accept), and it rejects
+numpy scalars and arrays outright.  Every JSON artifact this repo writes
+— sweep reports, bench payloads, service responses — goes through this
+module instead:
+
+* non-finite floats become ``null`` (the explicit "no value" of the
+  schema, e.g. a plan-free policy's ``allocated_power``);
+* numpy scalars become their Python equivalents, numpy arrays become
+  lists (sanitized recursively);
+* serialization runs with ``allow_nan=False`` so any non-finite value
+  that slips past the sanitizer fails loudly instead of corrupting the
+  artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, IO
+
+import numpy as np
+
+__all__ = ["sanitize_for_json", "dumps_json", "dump_json"]
+
+
+def sanitize_for_json(value: Any) -> Any:
+    """Recursively convert ``value`` into strictly-JSON-serializable data.
+
+    Non-finite floats map to ``None``; numpy scalars/arrays map to Python
+    numbers/lists; dict keys are coerced to strings; tuples become lists.
+    Objects with no JSON equivalent are rendered via ``repr`` (matching the
+    sweep report's historical fallback for opaque knob values).
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        v = float(value)
+        return v if math.isfinite(v) else None
+    if isinstance(value, np.ndarray):
+        return [sanitize_for_json(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): sanitize_for_json(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [sanitize_for_json(v) for v in value]
+    return repr(value)
+
+
+def dumps_json(value: Any, **kwargs: Any) -> str:
+    """``json.dumps`` of the sanitized value, with ``allow_nan=False``."""
+    kwargs.setdefault("allow_nan", False)
+    return json.dumps(sanitize_for_json(value), **kwargs)
+
+
+def dump_json(value: Any, fh: IO[str], **kwargs: Any) -> None:
+    """``json.dump`` of the sanitized value, with ``allow_nan=False``."""
+    kwargs.setdefault("allow_nan", False)
+    json.dump(sanitize_for_json(value), fh, **kwargs)

@@ -9,11 +9,12 @@ from repro.analysis.export import (
     allocation_table_csv,
     csv_lines,
     energy_run_csv,
+    energy_run_json,
     manager_history_csv,
     runtime_table_csv,
     sim_trace_csv,
 )
-from repro.analysis.energy import run_managed
+from repro.analysis.energy import run_demand_follower, run_managed
 from repro.analysis.tables import allocation_table, runtime_table
 from repro.core.manager import DynamicPowerManager
 
@@ -63,6 +64,33 @@ class TestTableExports:
         lines = manager_history_csv(mgr.history).splitlines()
         assert len(lines) == 6
         assert lines[0].startswith("slot,time,allocated_power")
+
+    def test_energy_run_json_round_trip_nan(self, sc1):
+        # The static policy is plan-free: allocated_power is NaN per slot.
+        # The JSON exporter must emit strict JSON (null), never a bare NaN.
+        import json
+
+        result = run_demand_follower(sc1, n_periods=1)
+        assert np.isnan(result.allocated_power).all()
+        text = energy_run_json(result)
+        assert "NaN" not in text
+
+        def boom(token):
+            raise AssertionError(f"non-strict token {token}")
+
+        parsed = json.loads(text, parse_constant=boom)
+        assert parsed["allocated_power"] == [None] * result.allocated_power.size
+        assert parsed["wasted"] == result.wasted
+        assert parsed["plan_iterations"] is None
+
+    def test_energy_run_json_managed(self, sc1, frontier):
+        import json
+
+        result = run_managed(sc1, frontier, n_periods=1)
+        parsed = json.loads(energy_run_json(result))
+        assert parsed["utilization"] == result.utilization
+        assert parsed["allocated_power"] == list(result.allocated_power)
+        assert parsed["plan_feasible"] is True
 
     def test_sim_trace_csv(self, sc1, frontier):
         from repro.baselines.static import StaticPolicy

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -56,3 +58,66 @@ class TestCli:
         for name in ("eclipse-orbit", "commute-traffic", "burst-watch",
                      "deep-discharge", "scenario1"):
             assert name in out
+
+
+class TestExitCodes:
+    def test_sweep_failure_exits_nonzero(self, capsys):
+        # an unknown policy is a planner failure, not a traceback
+        assert main(["sweep", "--policies", "bogus"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "bogus" in err
+
+    def test_client_without_daemon_exits_nonzero(self, tmp_path, capsys):
+        missing = f"unix:{tmp_path}/nothing-here.sock"
+        assert main(["client", "ping", "--socket", missing]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_serve_bad_address_exits_nonzero(self, capsys):
+        assert main(["serve", "--socket", "justaname"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestSweepJson:
+    def test_report_is_strict_json(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main([
+            "sweep", "--periods", "1", "--json", str(path),
+        ]) == 0
+        capsys.readouterr()
+        text = path.read_text()
+        assert "NaN" not in text
+
+        def boom(token):
+            raise AssertionError(f"non-strict token {token}")
+
+        report = json.loads(text, parse_constant=boom)
+        assert report["n_cells"] == 4  # 2 scenarios x 2 policies
+        assert len(report["cells"]) == 4
+
+
+class TestServeClient:
+    def test_client_round_trip(self, tmp_path, frontier, capsys):
+        from repro.service.server import PlanServer, ServerConfig
+
+        address = f"unix:{tmp_path}/plan.sock"
+        server = PlanServer(
+            ServerConfig(address=address, metrics_interval_s=0.0),
+            frontier=frontier,
+        )
+        server.start()
+        try:
+            assert main(["client", "ping", "--socket", address]) == 0
+            assert json.loads(capsys.readouterr().out)["pong"] is True
+            assert main([
+                "client", "plan", "--socket", address,
+                "--scenario", "scenario1", "--periods", "1",
+            ]) == 0
+            plan = json.loads(capsys.readouterr().out)
+            assert plan["scenario"] == "scenario1"
+            assert plan["cached"] is False
+            assert main(["client", "status", "--socket", address]) == 0
+            status = json.loads(capsys.readouterr().out)
+            assert status["plan_cache"]["misses"] == 1
+        finally:
+            server.stop()

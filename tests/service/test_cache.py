@@ -1,0 +1,93 @@
+"""The daemon's bounded plan LRU."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.cache import CacheStats, LRUCache
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_eviction_is_lru_ordered(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # freshen "a": "b" is now the LRU entry
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats().evictions == 1
+
+    def test_peek_skips_stats_and_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        before = cache.stats()
+        assert cache.peek("a") == 1
+        assert cache.peek("zzz") is None
+        after = cache.stats()
+        assert (after.hits, after.misses) == (before.hits, before.misses)
+        cache.put("c", 3)  # "a" was not freshened, so it is the one evicted
+        assert cache.peek("a") is None
+        assert cache.peek("b") == 2
+
+    def test_put_overwrites(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 9)
+        assert cache.get("a") == 9
+        assert len(cache) == 1
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_clear(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_thread_safety_smoke(self):
+        cache = LRUCache(64)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(200):
+                    cache.put((base, i % 80), i)
+                    cache.get((base, (i * 7) % 80))
+            except Exception as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        assert CacheStats(3, 1, 0, 2, 8).hit_rate == 0.75
+        assert CacheStats(0, 0, 0, 0, 8).hit_rate == 0.0
+
+    def test_as_dict_round_trip(self):
+        stats = LRUCache(2).stats()
+        d = stats.as_dict()
+        assert d["maxsize"] == 2
+        assert set(d) == {"hits", "misses", "evictions", "size", "maxsize", "hit_rate"}

@@ -1,0 +1,104 @@
+"""Counters, histograms, and the structured metrics log line."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.service.metrics import Histogram, ServiceMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50.0))
+
+    def test_single_value(self):
+        assert percentile([4.0], 0.0) == 4.0
+        assert percentile([4.0], 100.0) == 4.0
+
+    def test_linear_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 4.0
+        assert percentile(values, 50.0) == pytest.approx(2.5)
+        assert percentile(values, 25.0) == pytest.approx(1.75)
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_range_validated(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+
+class TestHistogram:
+    def test_empty_snapshot_is_json_safe(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] is None
+        assert snap["p95"] is None
+        json.dumps(snap, allow_nan=False)  # no NaN anywhere
+
+    def test_aggregates(self):
+        hist = Histogram()
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["mean"] == pytest.approx(2.0)
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+        assert snap["p50"] == 2.0
+
+    def test_window_bounds_percentiles_not_lifetime(self):
+        hist = Histogram(window=4)
+        for v in range(100):
+            hist.observe(float(v))
+        assert hist.count == 100  # lifetime count survives the window
+        assert hist.percentile(0.0) == 96.0  # but percentiles see the last 4
+        assert hist.snapshot()["max"] == 99.0  # lifetime max survives too
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            Histogram(window=0)
+
+
+class TestServiceMetrics:
+    def test_counters(self):
+        metrics = ServiceMetrics()
+        metrics.inc("requests_total")
+        metrics.inc("requests_total", 2)
+        assert metrics.counter("requests_total") == 3
+        assert metrics.counter("never_touched") == 0
+
+    def test_histogram_created_on_first_observe(self):
+        metrics = ServiceMetrics()
+        assert metrics.histogram("latency_plan_s") is None
+        metrics.observe("latency_plan_s", 0.01)
+        assert metrics.histogram("latency_plan_s").count == 1
+
+    def test_snapshot_shape(self):
+        metrics = ServiceMetrics()
+        metrics.inc("a")
+        metrics.observe("lat", 1.0)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"a": 1}
+        assert snap["histograms"]["lat"]["count"] == 1
+        assert snap["uptime_s"] >= 0.0
+        json.dumps(snap, allow_nan=False)
+
+    def test_log_line_is_one_strict_json_object(self):
+        metrics = ServiceMetrics()
+        metrics.inc("requests_total", 5)
+        metrics.observe("latency_plan_s", 0.002)
+        line = metrics.log_line(pending=3)
+        assert "\n" not in line
+        payload = json.loads(line)
+        assert payload["event"] == "service_metrics"
+        assert payload["counters"]["requests_total"] == 5
+        assert payload["pending"] == 3
+        assert payload["latency_plan_s"]["count"] == 1

@@ -1,0 +1,109 @@
+"""ManagerPolicy: the proposed algorithm as a simulator policy.
+
+Focus: the ``controller_power`` reconciliation — the manager budgets the
+*worker pool*, so the policy must subtract the controller chip's own draw
+from the observed usage before feeding Algorithm 3.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.energy import build_manager
+from repro.sim.controller import ManagerPolicy
+from repro.sim.system import SlotOutcome, SlotState
+
+
+def _state(manager, slot=0):
+    return SlotState(
+        slot=slot,
+        time=slot * manager.grid.tau,
+        battery_level=manager.spec.initial,
+        backlog=0.0,
+        expected_charging=float(manager.charging[slot]),
+        expected_arrivals=0.0,
+    )
+
+
+def _outcome(slot, delivered, supplied):
+    return SlotOutcome(
+        slot=slot,
+        used_power=delivered,
+        delivered_power=delivered,
+        supplied_power=supplied,
+        wasted_energy=0.0,
+        undersupplied_energy=0.0,
+        battery_level=0.0,
+        processed=0.0,
+    )
+
+
+@pytest.fixture
+def manager(sc1, frontier):
+    return build_manager(sc1, frontier)
+
+
+class TestControllerPowerValidation:
+    def test_negative_rejected(self, manager):
+        with pytest.raises(ValueError):
+            ManagerPolicy(manager, controller_power=-0.1)
+
+    def test_default_is_zero(self, manager):
+        assert ManagerPolicy(manager).controller_power == 0.0
+
+
+class TestReconciliation:
+    def test_controller_draw_subtracted_from_observed_usage(self, manager):
+        policy = ManagerPolicy(manager, controller_power=0.5)
+        policy.reset()
+        policy.decide(_state(manager))
+        policy.observe(_outcome(0, delivered=2.0, supplied=1.0))
+        step = manager.history[-1]
+        # Algorithm 3 sees the worker pool's 1.5 W, not the full 2.0 W.
+        assert step.used_power == pytest.approx(2.0 - 0.5)
+        assert step.supplied_power == pytest.approx(1.0)
+
+    def test_worker_power_clamped_at_zero(self, manager):
+        # Controller draw above the measured delivery must not go negative
+        # (a negative P_actual would *credit* energy back to the plan).
+        policy = ManagerPolicy(manager, controller_power=3.0)
+        policy.reset()
+        policy.decide(_state(manager))
+        policy.observe(_outcome(0, delivered=2.0, supplied=1.0))
+        assert manager.history[-1].used_power == 0.0
+
+    def test_zero_controller_power_is_passthrough(self, sc1, frontier):
+        managed = build_manager(sc1, frontier)
+        plain = build_manager(sc1, frontier)
+        with_policy = ManagerPolicy(managed, controller_power=0.0)
+        with_policy.reset()
+        plain.plan()
+        plain.start()
+        for slot in range(3):
+            with_policy.decide(_state(managed, slot))
+            with_policy.observe(_outcome(slot, delivered=1.2, supplied=0.8))
+            plain.advance(used_power=1.2, supplied_power=0.8)
+        assert len(managed.history) == len(plain.history) == 3
+        for via_policy, direct in zip(managed.history, plain.history):
+            assert via_policy.used_power == direct.used_power
+            assert via_policy.e_diff == direct.e_diff
+            assert list(via_policy.window) == list(direct.window)
+
+
+class TestPolicyInterface:
+    def test_reset_plans_once_and_starts(self, manager):
+        policy = ManagerPolicy(manager, controller_power=0.25)
+        assert manager.allocation is None
+        policy.reset()
+        assert manager.allocation is not None
+        assert policy.name == "proposed"
+
+    def test_decide_matches_manager_window(self, manager):
+        policy = ManagerPolicy(manager)
+        policy.reset()
+        point = policy.decide(_state(manager))
+        assert point.power <= manager.window[0] + 1e-9
+        assert math.isfinite(policy.allocated_power())
+        assert policy.allocated_power() == pytest.approx(float(manager.window[0]))

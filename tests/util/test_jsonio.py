@@ -1,0 +1,65 @@
+"""Strict-JSON sanitizer tests."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.jsonio import dump_json, dumps_json, sanitize_for_json
+
+
+class TestSanitize:
+    def test_passthrough_scalars(self):
+        for value in (None, True, False, 3, -1, 0.5, "x"):
+            assert sanitize_for_json(value) == value
+
+    def test_nonfinite_floats_become_null(self):
+        assert sanitize_for_json(math.nan) is None
+        assert sanitize_for_json(math.inf) is None
+        assert sanitize_for_json(-math.inf) is None
+
+    def test_numpy_scalars(self):
+        assert sanitize_for_json(np.float64(1.5)) == 1.5
+        assert sanitize_for_json(np.int32(7)) == 7
+        assert sanitize_for_json(np.bool_(True)) is True
+        assert sanitize_for_json(np.float64("nan")) is None
+
+    def test_numpy_array_with_nan(self):
+        out = sanitize_for_json(np.array([1.0, np.nan, 3.0]))
+        assert out == [1.0, None, 3.0]
+
+    def test_nested_containers(self):
+        out = sanitize_for_json({"a": (1, np.nan), 2: [np.float64(4.0)]})
+        assert out == {"a": [1, None], "2": [4.0]}
+
+    def test_opaque_objects_repr(self):
+        class Knob:
+            def __repr__(self):
+                return "<knob>"
+
+        assert sanitize_for_json(Knob()) == "<knob>"
+
+
+class TestDumps:
+    def test_never_emits_nan_token(self):
+        text = dumps_json({"x": np.array([np.nan, 1.0]), "y": math.inf})
+        assert "NaN" not in text and "Infinity" not in text
+        assert json.loads(text) == {"x": [None, 1.0], "y": None}
+
+    def test_dump_to_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        with open(path, "w", encoding="utf-8") as fh:
+            dump_json({"v": float("nan")}, fh)
+        assert json.loads(path.read_text()) == {"v": None}
+
+    def test_round_trip_is_strict(self):
+        # A strict parser (rejecting the NaN extension) accepts the output.
+        def boom(token):
+            raise AssertionError(f"non-strict token {token}")
+
+        text = dumps_json({"allocated_power": [float("nan"), 2.0]})
+        parsed = json.loads(text, parse_constant=boom)
+        assert parsed["allocated_power"] == [None, 2.0]
