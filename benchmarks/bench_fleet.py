@@ -1,0 +1,218 @@
+"""The fleet gateway under concurrent load and mid-run replica loss.
+
+Drives a live :class:`~repro.fleet.gateway.PlanGateway` fronting real
+``python -m repro serve`` subprocesses with 8 concurrent clients:
+
+* **single** — one backend behind the gateway: the routing/proxy
+  overhead baseline;
+* **fleet3** — the same cold request set over three backends: rendezvous
+  routing spreads distinct plans across replicas;
+* **chaos** — three fresh backends, and one of them is SIGKILLed after a
+  quarter of the requests have completed.  The serving contract under
+  test: **every request still succeeds** — transport errors fail over,
+  the dead replica's breaker opens, and the survivors absorb its keys.
+
+Writes ``BENCH_fleet.json`` next to the repo root with success rate,
+p50/p95/p99 latency per phase, and the hedge fire/win counts, and
+asserts a 100% success rate with one of three backends killed mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.fleet.gateway import GatewayConfig, PlanGateway
+from repro.fleet.launcher import FleetLauncher
+from repro.service.client import PlanClient
+from repro.service.metrics import percentile
+
+N_CLIENTS = 8
+N_PERIODS = 4
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+
+def build_requests() -> "list[dict]":
+    """128 distinct planning problems (unique supply factors per scenario)."""
+    return [
+        {
+            "scenario": scenario,
+            "policy": "proposed",
+            "n_periods": N_PERIODS,
+            "supply_factor": round(0.85 + 0.001 * k, 3),
+        }
+        for scenario in ("scenario1", "scenario2")
+        for k in range(64)
+    ]
+
+
+def drive(endpoint, requests, n_clients, *, kill_after=None, on_kill=None):
+    """Fan the request list over ``n_clients`` concurrent connections.
+
+    With ``kill_after``/``on_kill``, fires ``on_kill()`` once, from
+    whichever worker completes request number ``kill_after`` — the
+    mid-run fault injection.  Returns (latencies, errors, wall_s).
+    """
+    latencies: "list[float]" = []
+    errors: "list[Exception]" = []
+    lock = threading.Lock()
+    killed = threading.Event()
+
+    def worker(shard: "list[dict]") -> None:
+        try:
+            with PlanClient(endpoint, timeout=120.0) as client:
+                for req in shard:
+                    t0 = time.perf_counter()
+                    result = client.plan(
+                        req["scenario"],
+                        policy=req["policy"],
+                        n_periods=req["n_periods"],
+                        supply_factor=req["supply_factor"],
+                    )
+                    dt = time.perf_counter() - t0
+                    assert result["scenario"] == req["scenario"]
+                    fire = False
+                    with lock:
+                        latencies.append(dt)
+                        if (
+                            kill_after is not None
+                            and len(latencies) >= kill_after
+                            and not killed.is_set()
+                        ):
+                            killed.set()
+                            fire = True
+                    if fire and on_kill is not None:
+                        on_kill()
+        except Exception as exc:  # noqa: BLE001 - the bench reports, not hides
+            with lock:
+                errors.append(exc)
+
+    shards = [requests[i::n_clients] for i in range(n_clients)]
+    threads = [threading.Thread(target=worker, args=(s,)) for s in shards]
+    t_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return latencies, errors, time.perf_counter() - t_start
+
+
+def _phase_stats(latencies, errors, n_requests, wall_s) -> dict:
+    return {
+        "n_requests": n_requests,
+        "n_succeeded": len(latencies),
+        "n_failed": len(errors),
+        "success_rate": len(latencies) / n_requests if n_requests else 0.0,
+        "wall_s": wall_s,
+        "throughput_rps": len(latencies) / wall_s if wall_s > 0 else 0.0,
+        "p50_ms": percentile(latencies, 50.0) * 1e3,
+        "p95_ms": percentile(latencies, 95.0) * 1e3,
+        "p99_ms": percentile(latencies, 99.0) * 1e3,
+    }
+
+
+def _run_phase(tmp, tag, n_backends, requests, *, kill_index=None):
+    """One gateway + N fresh subprocess backends; optionally SIGKILL one
+    backend after a quarter of the requests have landed."""
+    socket_dir = Path(tmp) / tag
+    socket_dir.mkdir()
+    with FleetLauncher(n_backends=n_backends, socket_dir=socket_dir) as launcher:
+        gateway = PlanGateway(
+            GatewayConfig(
+                address=f"unix:{socket_dir}/gateway.sock",
+                backends=launcher.addresses,
+                request_timeout_s=120.0,
+                probe_interval_s=0.5,
+            )
+        )
+        gateway.start()
+        try:
+            on_kill = None
+            kill_after = None
+            if kill_index is not None:
+                kill_after = len(requests) // 4
+                on_kill = lambda: launcher.kill(kill_index)  # noqa: E731
+            latencies, errors, wall_s = drive(
+                gateway.endpoint, requests, N_CLIENTS,
+                kill_after=kill_after, on_kill=on_kill,
+            )
+            stats = _phase_stats(latencies, errors, len(requests), wall_s)
+            stats["hedges_fired"] = gateway.metrics.counter("hedges_fired")
+            stats["hedge_wins"] = gateway.metrics.counter("hedge_wins")
+            stats["transport_errors_absorbed"] = gateway.metrics.counter(
+                "forward_transport_errors"
+            )
+            return stats, errors
+        finally:
+            gateway.stop()
+
+
+def bench_fleet():
+    requests = build_requests()
+    report: dict = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "n_clients": N_CLIENTS,
+        "n_periods": N_PERIODS,
+        "n_distinct_plans": len(requests),
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as tmp:
+        report["single"], single_err = _run_phase(tmp, "single", 1, requests)
+        report["fleet3"], fleet_err = _run_phase(tmp, "fleet3", 3, requests)
+        report["chaos"], chaos_err = _run_phase(
+            tmp, "chaos", 3, requests, kill_index=0
+        )
+
+    hedges = sum(report[p]["hedges_fired"] for p in ("single", "fleet3", "chaos"))
+    wins = sum(report[p]["hedge_wins"] for p in ("single", "fleet3", "chaos"))
+    report["hedge"] = {
+        "fired": hedges,
+        "wins": wins,
+        "win_rate": wins / hedges if hedges else None,
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    emit(
+        "Fleet gateway — {n} distinct plans, {c} concurrent clients\n"
+        "  single (1 backend): {sw:.3f} s · {st:.0f} req/s · "
+        "p50 {s50:.2f} / p95 {s95:.2f} / p99 {s99:.2f} ms\n"
+        "  fleet (3 backends): {fw:.3f} s · {ft:.0f} req/s · "
+        "p50 {f50:.2f} / p95 {f95:.2f} / p99 {f99:.2f} ms\n"
+        "  chaos (1 of 3 SIGKILLed mid-run): success {cs:.1%} · "
+        "{ct:.0f} req/s · p99 {c99:.2f} ms · "
+        "{ce} transport errors absorbed\n"
+        "  hedges fired {h} · won {hw}\n"
+        "  report: {path}".format(
+            n=len(requests),
+            c=N_CLIENTS,
+            sw=report["single"]["wall_s"],
+            st=report["single"]["throughput_rps"],
+            s50=report["single"]["p50_ms"],
+            s95=report["single"]["p95_ms"],
+            s99=report["single"]["p99_ms"],
+            fw=report["fleet3"]["wall_s"],
+            ft=report["fleet3"]["throughput_rps"],
+            f50=report["fleet3"]["p50_ms"],
+            f95=report["fleet3"]["p95_ms"],
+            f99=report["fleet3"]["p99_ms"],
+            cs=report["chaos"]["success_rate"],
+            ct=report["chaos"]["throughput_rps"],
+            c99=report["chaos"]["p99_ms"],
+            ce=report["chaos"]["transport_errors_absorbed"],
+            h=hedges,
+            hw=wins,
+            path=REPORT_PATH.name,
+        )
+    )
+
+    assert not single_err, f"single-backend phase failed requests: {single_err[:3]}"
+    assert not fleet_err, f"three-backend phase failed requests: {fleet_err[:3]}"
+    assert not chaos_err, (
+        f"requests failed while 2 of 3 replicas stayed healthy: {chaos_err[:3]}"
+    )
+    assert report["chaos"]["success_rate"] == 1.0, report["chaos"]
+    assert report["chaos"]["n_succeeded"] == len(requests)

@@ -40,6 +40,7 @@ allocations are computed once per grid instead of once per cell.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -373,6 +374,8 @@ class CellExecutor:
         self.n_workers = max(0, int(n_workers))
         self.cache = bool(cache)
         self._closed = False
+        self._outstanding = 0
+        self._outstanding_lock = threading.Lock()
         if self.n_workers <= 1:
             self._mode = "thread"
             self._pool: ThreadPoolExecutor | ProcessPoolExecutor = ThreadPoolExecutor(
@@ -395,6 +398,18 @@ class CellExecutor:
         """``"thread"`` (in-process) or ``"process"`` (fan-out pool)."""
         return self._mode
 
+    @property
+    def queue_depth(self) -> int:
+        """Cells submitted via :meth:`submit` and not yet finished —
+        queued plus running.  The daemon's ``status`` RPC reports this so
+        health probes can see replica load, not just liveness."""
+        with self._outstanding_lock:
+            return self._outstanding
+
+    def _settle(self, future: "Future") -> None:
+        with self._outstanding_lock:
+            self._outstanding -= 1
+
     def warm(self, cells: Sequence[CellSpec]) -> int:
         """Pre-plan the cells' unique planning scenarios into this process's
         memo (thread mode: directly usable; process mode: call *before*
@@ -414,8 +429,13 @@ class CellExecutor:
         if spec.policy not in _POLICIES:
             raise ValueError(f"unknown policy {spec.policy!r}")
         if self._mode == "thread":
-            return self._pool.submit(run_cell, spec, self.frontier, index=index)
-        return self._pool.submit(_run_indexed_cell, (index, spec))
+            future = self._pool.submit(run_cell, spec, self.frontier, index=index)
+        else:
+            future = self._pool.submit(_run_indexed_cell, (index, spec))
+        with self._outstanding_lock:
+            self._outstanding += 1
+        future.add_done_callback(self._settle)
+        return future
 
     def map_cells(
         self, cells: Sequence[CellSpec], *, chunksize: int = 1

@@ -18,9 +18,15 @@ Usage::
                                       # the plan-serving daemon (docs/SERVICE.md)
     python -m repro client plan --scenario scenario1 [--supply-factor 0.9]
     python -m repro client status     # thin client for the daemon
+    python -m repro fleet --socket /tmp/repro-fleet.sock --backends 3
+                                      # gateway + N replicas (docs/FLEET.md)
 
 Every subcommand accepts ``--log-level``; planner or simulation failures
-exit nonzero with a one-line error instead of a traceback.
+exit nonzero with a one-line error instead of a traceback.  ``client``
+distinguishes failure classes by exit code: 1 for service errors, 3 for
+transport failures (daemon unreachable, connection lost mid-frame, or a
+gateway with no healthy replica), 4 when the request was load-shed with
+``overloaded`` — so wrappers can retry sheds but page on outages.
 """
 
 from __future__ import annotations
@@ -222,9 +228,15 @@ def _serve_main(argv: list[str]) -> int:
     return 0
 
 
+#: ``repro client`` exit codes (2 is argparse's usage-error convention).
+EXIT_SERVICE_ERROR = 1  #: the daemon answered with an error response
+EXIT_TRANSPORT = 3  #: transport failure: unreachable, timeout, mid-frame loss
+EXIT_OVERLOADED = 4  #: load shed (``overloaded``) — retryable by design
+
+
 def _client_main(argv: list[str]) -> int:
     """The ``client`` subcommand: one RPC against a running daemon."""
-    from .service.client import PlanClient, PlanServiceError
+    from .service.client import ClientError, PlanClient, PlanServiceError
 
     parser = argparse.ArgumentParser(
         prog="repro-dpm client",
@@ -292,27 +304,178 @@ def _client_main(argv: list[str]) -> int:
                 result = client.ping()
             else:
                 result = client.shutdown()
-    except (OSError, PlanServiceError, ValueError) as exc:
+    except PlanServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        if exc.code == "overloaded":
+            return EXIT_OVERLOADED
+        if exc.code == "unavailable":
+            return EXIT_TRANSPORT  # the fleet itself is unreachable
+        return EXIT_SERVICE_ERROR
+    except (ClientError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_TRANSPORT
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SERVICE_ERROR
     print(dumps_json(result, indent=2))
     return 0
 
 
+def _fleet_main(argv: list[str]) -> int:
+    """The ``fleet`` subcommand: gateway + N replicas until SIGTERM."""
+    import tempfile
+    import threading
+
+    from .fleet.gateway import GatewayConfig, PlanGateway
+    from .fleet.launcher import FleetLauncher
+
+    parser = argparse.ArgumentParser(
+        prog="repro-dpm fleet",
+        description=(
+            "Serve a fleet: spawn (or attach to) N plan daemons and front "
+            "them with the routing/health/retry gateway (see docs/FLEET.md)."
+        ),
+    )
+    parser.add_argument(
+        "--socket", default="unix:repro-fleet.sock", metavar="ADDR",
+        help="gateway bind address: unix:PATH or HOST:PORT",
+    )
+    parser.add_argument(
+        "--backends", type=int, default=0, metavar="N",
+        help="replicas to spawn (ignores --attach when > 0)",
+    )
+    parser.add_argument(
+        "--attach", default="", metavar="A1,A2",
+        help="comma-separated addresses of already-running daemons",
+    )
+    parser.add_argument(
+        "--socket-dir", default=None, metavar="DIR",
+        help="directory for spawned replicas' sockets (default: a tempdir)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes per spawned replica (default 0 = in-process)",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="per-replica in-flight computations before load-shedding",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=4, metavar="N",
+        help="replica attempts per request, first try included (default 4)",
+    )
+    parser.add_argument(
+        "--no-hedge", action="store_true",
+        help="disable latency-triggered hedged plan requests",
+    )
+    parser.add_argument(
+        "--probe-interval", type=float, default=1.0, metavar="S",
+        help="health-probe cadence in seconds (default 1)",
+    )
+    parser.add_argument(
+        "--request-timeout", type=float, default=60.0, metavar="S",
+        help="per-forward socket timeout (default 60)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="S",
+        help="bound on the SIGTERM drain (default 10)",
+    )
+    _add_log_level(parser)
+    args = parser.parse_args(argv)
+    _configure_logging(args.log_level)
+    attach = [a.strip() for a in args.attach.split(",") if a.strip()]
+    if args.backends <= 0 and not attach:
+        print("error: need --backends N or --attach ADDR1,ADDR2", file=sys.stderr)
+        return 1
+
+    socket_dir_ctx = None
+    socket_dir = args.socket_dir
+    if args.backends > 0 and socket_dir is None:
+        socket_dir_ctx = tempfile.TemporaryDirectory(prefix="repro-fleet-")
+        socket_dir = socket_dir_ctx.name
+    launcher = FleetLauncher(
+        n_backends=max(0, args.backends),
+        socket_dir=socket_dir,
+        attach=attach,
+        n_workers=args.workers,
+        max_pending=args.max_pending,
+        log_level=args.log_level,
+    )
+    try:
+        try:
+            launcher.spawn()
+        except (OSError, TimeoutError) as exc:
+            print(f"error: spawning backends failed: {exc}", file=sys.stderr)
+            launcher.terminate()
+            return 1
+        gateway = PlanGateway(
+            GatewayConfig(
+                address=args.socket,
+                backends=launcher.addresses,
+                max_attempts=args.max_attempts,
+                hedge=not args.no_hedge,
+                probe_interval_s=args.probe_interval,
+                request_timeout_s=args.request_timeout,
+                drain_timeout_s=args.drain_timeout,
+            )
+        )
+        try:
+            gateway.start()
+        except (OSError, RuntimeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            launcher.terminate()
+            return 1
+
+        drained = threading.Event()
+
+        def _drain() -> None:
+            if drained.is_set():
+                return
+            drained.set()
+            gateway.stop()
+            launcher.terminate()
+
+        def _handler(signum: int, frame) -> None:
+            threading.Thread(target=_drain, name="fleet-drain", daemon=True).start()
+
+        import signal as _signal
+
+        _signal.signal(_signal.SIGTERM, _handler)
+        _signal.signal(_signal.SIGINT, _handler)
+        for backend in launcher.backends:
+            role = "spawned" if backend.spawned else "attached"
+            pid = f" pid={backend.pid}" if backend.pid else ""
+            print(f"backend {backend.address} ({role}{pid})", flush=True)
+        print(
+            f"fleet gateway serving on {gateway.endpoint} fronting "
+            f"{len(launcher.addresses)} backends (SIGTERM to drain)",
+            flush=True,
+        )
+        gateway.serve_forever()
+        _drain()  # shutdown RPC path: gateway stopped on its own
+        return 0
+    finally:
+        if socket_dir_ctx is not None:
+            socket_dir_ctx.cleanup()
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
-    # serve/client carry their own flag sets; dispatch before the
+    # serve/client/fleet carry their own flag sets; dispatch before the
     # experiment parser so `repro serve --workers 4` parses cleanly.
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
     if argv and argv[0] == "client":
         return _client_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        return _fleet_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-dpm",
         description=(
             "Reproduce the evaluation of 'Dynamic Power Management of "
             "Multiprocessor Systems' (IPPS 2002).  'serve' and 'client' "
-            "run/talk to the plan-serving daemon (see docs/SERVICE.md)."
+            "run/talk to the plan-serving daemon (docs/SERVICE.md); "
+            "'fleet' serves N replicas behind one gateway (docs/FLEET.md)."
         ),
     )
     parser.add_argument(

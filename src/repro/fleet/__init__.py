@@ -1,0 +1,48 @@
+"""Fleet serving: replicated plan daemons behind one gateway.
+
+PR 2 turned the paper's resident controller into a single
+:class:`~repro.service.server.PlanServer` daemon.  This package is the
+scale-out step: N identical replicas behind one front door, the same
+shape as the paper's one-controller/eight-processor platform repeated
+horizontally.
+
+* :mod:`repro.fleet.router` — rendezvous hashing on request content
+  digests: identical requests hit the same replica's warm plan cache,
+  and replica churn only remaps the keys that must move;
+* :mod:`repro.fleet.health` — periodic ``status`` probes plus
+  per-backend circuit breakers (closed/open/half-open);
+* :mod:`repro.fleet.retry` — full-jitter capped exponential backoff and
+  the latency tracker that arms hedged requests;
+* :mod:`repro.fleet.pool` — per-backend connection pools that never
+  re-pool a desynced socket;
+* :mod:`repro.fleet.gateway` — :class:`~repro.fleet.gateway.PlanGateway`,
+  a ``PlanServer``-compatible front server that routes, retries, hedges,
+  and aggregates fleet status;
+* :mod:`repro.fleet.launcher` — spawn/attach/drain the replica
+  processes (the ``repro fleet`` CLI's engine room).
+
+See ``docs/FLEET.md`` for semantics and failure modes.
+"""
+
+from .gateway import GatewayConfig, PlanGateway
+from .health import BackendHealth, CircuitBreaker, HealthMonitor
+from .launcher import Backend, FleetLauncher
+from .pool import ConnectionPool, PoolGroup
+from .retry import BackoffPolicy, LatencyTracker
+from .router import RendezvousRouter, rendezvous_score
+
+__all__ = [
+    "GatewayConfig",
+    "PlanGateway",
+    "BackendHealth",
+    "CircuitBreaker",
+    "HealthMonitor",
+    "Backend",
+    "FleetLauncher",
+    "ConnectionPool",
+    "PoolGroup",
+    "BackoffPolicy",
+    "LatencyTracker",
+    "RendezvousRouter",
+    "rendezvous_score",
+]

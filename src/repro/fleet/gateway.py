@@ -1,0 +1,592 @@
+"""The fleet gateway: one front door for N plan-serving replicas.
+
+:class:`PlanGateway` speaks the same NDJSON protocol as
+:class:`~repro.service.server.PlanServer` — any existing
+:class:`~repro.service.client.PlanClient` can point at it unchanged —
+but instead of computing plans it *routes* them:
+
+* **Routing** — each ``plan`` request is routed by rendezvous hashing on
+  its content digest (:mod:`repro.fleet.router`), so identical requests
+  always land on the same replica and hit that replica's warm plan LRU.
+  ``sweep`` requests route the same way on a digest of the grid fields.
+* **Health** — a background monitor probes every replica's ``status``
+  and per-request outcomes feed the same per-backend circuit breakers
+  (:mod:`repro.fleet.health`); open breakers are routed around.
+* **Retries** — transport failures and load-sheds fail over to the
+  next-ranked replica with full-jitter backoff
+  (:mod:`repro.fleet.retry`).  Deterministic rejections (unknown
+  scenario, bad request, deadline exceeded) are returned immediately —
+  no replica would answer differently.
+* **Hedging** — optionally, a ``plan`` forward that has been in flight
+  longer than a high percentile of recent latencies fires a second
+  attempt at the next-ranked replica and takes whichever answers first.
+  Plans are deterministic and content-cached, so duplicated work is
+  bounded and harmless.
+* **Aggregation** — ``status`` returns a fleet view: per-replica health,
+  load, and cache stats plus fleet-wide totals.
+
+Error contract: ``overloaded`` only when every healthy replica shed the
+request; ``unavailable`` when no healthy replica could be reached at
+all; everything else is the replica's own answer, passed through.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import queue
+import random
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..service.client import ClientError, PlanServiceError
+from ..service.metrics import ServiceMetrics
+from ..service.protocol import (
+    MAX_LINE_BYTES,
+    PlanRequest,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_address,
+)
+from ..util.jsonio import dumps_json
+from .health import HealthMonitor
+from .pool import PoolGroup
+from .retry import BackoffPolicy, LatencyTracker
+from .router import RendezvousRouter
+
+__all__ = ["GatewayConfig", "PlanGateway"]
+
+logger = logging.getLogger(__name__)
+
+#: Error codes that mean "this replica cannot take the request right
+#: now, another might" — they trigger failover, not failure.
+_SHED_CODES = ("overloaded", "shutting_down")
+
+
+@dataclass
+class GatewayConfig:
+    """Tunables of one :class:`PlanGateway`."""
+
+    address: str = "unix:repro-fleet.sock"  #: gateway bind address
+    backends: "tuple[str, ...]" = field(default_factory=tuple)  #: replica addresses
+    request_timeout_s: "float | None" = 60.0  #: per-forward socket timeout
+    max_attempts: int = 4  #: replica attempts per request (first included)
+    backoff_base_s: float = 0.02  #: first-retry jitter ceiling
+    backoff_cap_s: float = 0.5  #: retry jitter ceiling
+    probe_interval_s: float = 1.0  #: health-probe cadence
+    probe_timeout_s: float = 2.0  #: health-probe socket timeout
+    failure_threshold: int = 3  #: consecutive transport failures to trip a breaker
+    reset_timeout_s: float = 2.0  #: open → half-open delay
+    hedge: bool = True  #: fire a second ``plan`` attempt on slow primaries
+    hedge_quantile: float = 95.0  #: latency percentile that arms the hedge
+    hedge_min_delay_s: float = 0.05  #: hedge never fires sooner than this
+    hedge_max_delay_s: float = 1.0  #: ... nor later than this
+    max_idle_per_backend: int = 8  #: pooled connections per replica
+    drain_timeout_s: float = 10.0  #: bound on the SIGTERM drain
+    accept_backlog: int = 128
+    rng_seed: "int | None" = None  #: seed the retry jitter (tests)
+
+
+class PlanGateway:
+    """See the module docstring for the serving model."""
+
+    def __init__(self, config: GatewayConfig):
+        if not config.backends:
+            raise ValueError("gateway needs at least one backend address")
+        self.config = config
+        self.metrics = ServiceMetrics()
+        self._router = RendezvousRouter(config.backends)
+        self._monitor = HealthMonitor(
+            config.backends,
+            interval_s=config.probe_interval_s,
+            probe_timeout_s=config.probe_timeout_s,
+            failure_threshold=config.failure_threshold,
+            reset_timeout_s=config.reset_timeout_s,
+        )
+        self._pools = PoolGroup(
+            list(config.backends),
+            timeout_s=config.request_timeout_s,
+            max_idle=config.max_idle_per_backend,
+        )
+        self._backoff = BackoffPolicy(
+            base_s=config.backoff_base_s,
+            cap_s=config.backoff_cap_s,
+            max_attempts=config.max_attempts,
+        )
+        self._latency = LatencyTracker(
+            quantile=config.hedge_quantile,
+            min_delay_s=config.hedge_min_delay_s,
+            max_delay_s=config.hedge_max_delay_s,
+        )
+        self._rng = random.Random(config.rng_seed)
+
+        self._listener: "socket.socket | None" = None
+        self._endpoint: "str | None" = None
+        self._unix_path: "str | None" = None
+        self._threads: "list[threading.Thread]" = []
+        self._conns: "dict[int, socket.socket]" = {}
+        self._conn_lock = threading.Lock()
+        self._active = 0
+        self._active_lock = threading.Lock()
+
+        self._started = False
+        self._stop_lock = threading.Lock()
+        self._stopping = False
+        self._draining = threading.Event()
+        self._stop_event = threading.Event()
+        self._stopped = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle (PlanServer-compatible surface)
+    # ------------------------------------------------------------------
+    @property
+    def endpoint(self) -> str:
+        """The bound address (with the real port for ``tcp:...:0`` binds)."""
+        if self._endpoint is None:
+            raise RuntimeError("gateway is not started")
+        return self._endpoint
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("gateway already started")
+        self._started = True
+        self._listener = self._bind(self.config.address)
+        self._monitor.start()
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="fleet-gateway-accept", daemon=True
+        )
+        acceptor.start()
+        self._threads.append(acceptor)
+        logger.info(
+            "fleet gateway listening on %s fronting %d backends "
+            "(max_attempts %d, hedge %s)",
+            self._endpoint,
+            len(self.config.backends),
+            self.config.max_attempts,
+            "on" if self.config.hedge else "off",
+        )
+
+    def _bind(self, address: str) -> socket.socket:
+        parsed = parse_address(address)
+        if parsed[0] == "unix":
+            path = parsed[1]
+            if os.path.exists(path):
+                probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                try:
+                    probe.connect(path)
+                except OSError:
+                    os.unlink(path)  # stale socket from a dead gateway
+                else:
+                    raise RuntimeError(f"address {path!r} already has a live server")
+                finally:
+                    probe.close()
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.bind(path)
+            self._unix_path = path
+            self._endpoint = f"unix:{path}"
+        else:
+            _, host, port = parsed
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, port))
+            self._endpoint = f"tcp:{host}:{sock.getsockname()[1]}"
+        sock.listen(self.config.accept_backlog)
+        return sock
+
+    def serve_forever(self) -> None:
+        if not self._started:
+            self.start()
+        while not self._stopped.wait(0.2):
+            pass
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (call from the main thread)."""
+
+        def _handler(signum: int, frame) -> None:
+            logger.info("received signal %d: draining gateway", signum)
+            threading.Thread(
+                target=self.stop, name="fleet-gateway-drain", daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, _handler)
+        signal.signal(signal.SIGINT, _handler)
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Stop serving; with ``drain``, let in-flight forwards finish."""
+        with self._stop_lock:
+            if self._stopping:
+                self._stopped.wait(self.config.drain_timeout_s + 5.0)
+                return
+            self._stopping = True
+        self._draining.set()
+        self._stop_event.set()
+        if self._listener is not None:
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if drain:
+            deadline = time.monotonic() + self.config.drain_timeout_s
+            while time.monotonic() < deadline:
+                with self._active_lock:
+                    if self._active == 0:
+                        break
+                time.sleep(0.005)
+        self._monitor.stop()
+        with self._conn_lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=2.0)
+        with self._conn_lock:
+            for conn in self._conns.values():
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            self._conns.clear()
+        self._pools.close()
+        if self._unix_path and os.path.exists(self._unix_path):
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+        logger.info("%s", self.metrics.log_line(event="gateway_stopped"))
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # connection plumbing
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        assert listener is not None
+        while not self._stop_event.is_set():
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                break
+            self.metrics.inc("connections_opened")
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="fleet-gateway-conn",
+                daemon=True,
+            )
+            with self._conn_lock:
+                self._conns[id(conn)] = conn
+            self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        fh = conn.makefile("rb")
+        try:
+            while True:
+                line = fh.readline(MAX_LINE_BYTES + 1)
+                if not line:
+                    break
+                response = self._handle_line(line)
+                try:
+                    conn.sendall(encode_message(response))
+                except OSError:
+                    break
+        finally:
+            try:
+                fh.close()
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._conn_lock:
+                self._conns.pop(id(conn), None)
+            self.metrics.inc("connections_closed")
+
+    def _handle_line(self, line: bytes) -> dict:
+        try:
+            message = decode_message(line)
+        except ProtocolError as exc:
+            self.metrics.inc("requests_total")
+            self.metrics.inc(f"errors_{exc.code}")
+            return error_response(None, exc.code, exc.message)
+        request_id = message.get("id")
+        op = message.get("op")
+        self.metrics.inc("requests_total")
+        self.metrics.inc(f"requests_{op}" if isinstance(op, str) else "requests_invalid")
+        with self._active_lock:
+            self._active += 1
+        t0 = time.perf_counter()
+        try:
+            result = self._dispatch(op, message)
+            response = ok_response(request_id, result)
+        except ProtocolError as exc:
+            self.metrics.inc(f"errors_{exc.code}")
+            response = error_response(request_id, exc.code, exc.message)
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("internal error routing %r", op)
+            self.metrics.inc("errors_internal")
+            response = error_response(request_id, "internal", f"{type(exc).__name__}: {exc}")
+        finally:
+            if isinstance(op, str):
+                self.metrics.observe(f"latency_{op}_s", time.perf_counter() - t0)
+            with self._active_lock:
+                self._active -= 1
+        return response
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, op: object, message: dict) -> dict:
+        if op == "ping":
+            return {
+                "pong": True,
+                "draining": self._draining.is_set(),
+                "role": "gateway",
+                "backends": len(self.config.backends),
+                "healthy_backends": len(self._monitor.healthy()),
+            }
+        if op == "status":
+            return self._handle_status()
+        if self._draining.is_set():
+            raise ProtocolError("shutting_down", "gateway is draining")
+        if op == "plan":
+            # Validate at the edge: malformed requests never cost a
+            # forward, and the digest doubles as the routing key.
+            request = PlanRequest.from_payload(message)
+            return self._forward(message, request.digest(), op="plan")
+        if op == "sweep":
+            return self._forward(message, self._sweep_key(message), op="sweep")
+        if op == "shutdown":
+            threading.Thread(
+                target=self.stop, name="fleet-gateway-shutdown", daemon=True
+            ).start()
+            return {"stopping": True, "role": "gateway"}
+        raise ProtocolError(
+            "bad_request",
+            f"unknown op {op!r}; known: plan, sweep, status, ping, shutdown",
+        )
+
+    @staticmethod
+    def _sweep_key(message: dict) -> str:
+        """Routing key for a sweep: digest of its grid-defining fields."""
+        fields = {
+            key: message.get(key)
+            for key in ("scenarios", "policies", "supply_factors", "n_periods")
+        }
+        blob = dumps_json(fields, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+    def _forward(self, message: dict, key: str, *, op: str) -> dict:
+        payload = {k: v for k, v in message.items() if k != "id"}
+        ranked = self._router.rank(key)
+        candidates = [addr for addr in ranked if self._monitor.allow(addr)]
+        self.metrics.inc("forwards_total")
+        if not candidates:
+            self.metrics.inc("requests_unavailable")
+            raise ProtocolError(
+                "unavailable",
+                f"no healthy backend for this request "
+                f"(all {len(ranked)} breakers open)",
+            )
+        # Try distinct replicas in rendezvous order; wrap around so a
+        # single-replica fleet still gets its full retry budget against
+        # transient faults (e.g. a backend restarting in place).
+        budget = self.config.max_attempts
+        sequence = [candidates[i % len(candidates)] for i in range(budget)]
+        shed: "PlanServiceError | None" = None
+        transport: "ClientError | OSError | None" = None
+        index = 0
+        attempt = 0
+        while index < len(sequence):
+            if attempt > 0:
+                time.sleep(self._backoff.delay_s(attempt - 1, self._rng))
+            primary = sequence[index]
+            backup = sequence[index + 1] if index + 1 < len(sequence) else None
+            hedge_ok = (
+                op == "plan"
+                and self.config.hedge
+                and backup is not None
+                and backup != primary
+            )
+            if hedge_ok:
+                consumed, outcome = self._hedged_attempt(primary, backup, payload)
+            else:
+                consumed, outcome = 1, self._classified_attempt(primary, payload)
+            index += consumed
+            attempt += consumed
+            status, value = outcome
+            if status == "ok":
+                address, result = value
+                return {**result, "served_by": address}
+            if status == "reject":
+                raise ProtocolError(value.code, value.message)
+            if status == "shed":
+                shed = value
+            else:  # transport
+                transport = value
+        if shed is not None and transport is None:
+            self.metrics.inc("requests_all_shed")
+            raise ProtocolError(
+                "overloaded",
+                f"every healthy replica shed the request "
+                f"(last: [{shed.code}] {shed.message})",
+            )
+        if shed is not None:
+            self.metrics.inc("requests_all_shed")
+            raise ProtocolError(
+                "overloaded",
+                f"all {attempt} attempts failed; last shed: "
+                f"[{shed.code}] {shed.message}",
+            )
+        self.metrics.inc("requests_unavailable")
+        raise ProtocolError(
+            "unavailable",
+            f"no replica reachable after {attempt} attempts (last: {transport})",
+        )
+
+    def _classified_attempt(self, address: str, payload: dict):
+        """One forward to one replica → ``(status, value)``.
+
+        ``("ok", (address, result))`` · ``("shed", error)`` — alive but
+        refusing, try elsewhere · ``("reject", error)`` — deterministic
+        answer, do not retry · ``("transport", error)`` — unreachable,
+        breaker notified.
+        """
+        self.metrics.inc("forward_attempts")
+        t0 = time.perf_counter()
+        try:
+            with self._pools[address].lease() as client:
+                result = client.request(payload)
+        except (ClientError, OSError) as exc:
+            self._monitor.record_failure(address)
+            if self._monitor.backend(address).breaker.state == "open":
+                # A tripped breaker means the replica is gone; its pooled
+                # sockets are dead too — drop them now, not one error at
+                # a time.
+                self._pools.discard_idle(address)
+            self.metrics.inc("forward_transport_errors")
+            return ("transport", exc)
+        except PlanServiceError as exc:
+            self._monitor.record_success(address)  # it answered: alive
+            if exc.code in _SHED_CODES:
+                self.metrics.inc("forward_shed")
+                return ("shed", exc)
+            return ("reject", exc)
+        self._monitor.record_success(address)
+        self._latency.observe(time.perf_counter() - t0)
+        return ("ok", (address, result))
+
+    def _hedged_attempt(self, primary: str, backup: str, payload: dict):
+        """Primary attempt with a latency-triggered hedge to ``backup``.
+
+        Returns ``(n_replicas_consumed, outcome)``.  The hedge fires only
+        if the primary is still in flight after the tracker's delay; the
+        first *successful* outcome wins (a fast failure from one side
+        waits for the other before giving up).
+        """
+        outcomes: "queue.SimpleQueue" = queue.SimpleQueue()
+
+        def attempt(address: str, kind: str) -> None:
+            outcomes.put((kind, self._classified_attempt(address, payload)))
+
+        threading.Thread(
+            target=attempt, args=(primary, "primary"),
+            name="fleet-forward-primary", daemon=True,
+        ).start()
+        try:
+            first = outcomes.get(timeout=self._latency.hedge_delay_s())
+        except queue.Empty:
+            first = None
+        if first is not None:
+            # Primary answered before the hedge armed — backup untouched.
+            return 1, first[1]
+        self.metrics.inc("hedges_fired")
+        threading.Thread(
+            target=attempt, args=(backup, "hedge"),
+            name="fleet-forward-hedge", daemon=True,
+        ).start()
+        first = outcomes.get()
+        kind, outcome = first
+        if outcome[0] == "ok":
+            if kind == "hedge":
+                self.metrics.inc("hedge_wins")
+            return 2, outcome
+        # The faster attempt failed; the slower one may still succeed.
+        kind2, outcome2 = outcomes.get()
+        if outcome2[0] == "ok":
+            if kind2 == "hedge":
+                self.metrics.inc("hedge_wins")
+            return 2, outcome2
+        # Both failed: prefer reporting the shed/reject over transport
+        # noise (it is the more actionable answer).
+        order = {"reject": 0, "shed": 1, "transport": 2}
+        return 2, min(outcome, outcome2, key=lambda o: order[o[0]])
+
+    # ------------------------------------------------------------------
+    # fleet status
+    # ------------------------------------------------------------------
+    def _handle_status(self) -> dict:
+        backends = self._monitor.snapshot()
+        healthy = self._monitor.healthy()
+        fleet = {
+            "plan_cache_hits": 0,
+            "plan_cache_misses": 0,
+            "pending": 0,
+            "active_requests": 0,
+            "reachable": 0,
+        }
+        for row in backends:
+            cache = row.get("plan_cache")
+            if cache:
+                fleet["plan_cache_hits"] += cache.get("hits", 0)
+                fleet["plan_cache_misses"] += cache.get("misses", 0)
+            load = row.get("load")
+            if load:
+                fleet["pending"] += load.get("pending", 0)
+                fleet["active_requests"] += load.get("active_requests", 0)
+            if row.get("healthy"):
+                fleet["reachable"] += 1
+        with self._active_lock:
+            active = self._active
+        return {
+            "gateway": {
+                "address": self._endpoint,
+                "pid": os.getpid(),
+                "uptime_s": self.metrics.uptime_s,
+                "draining": self._draining.is_set(),
+                "active_requests": active,
+                "n_backends": len(self.config.backends),
+                "healthy_backends": len(healthy),
+                "router": "rendezvous",
+                "max_attempts": self.config.max_attempts,
+                "hedge": {
+                    "enabled": self.config.hedge,
+                    "quantile": self.config.hedge_quantile,
+                    "current_delay_s": self._latency.hedge_delay_s(),
+                    "samples": len(self._latency),
+                },
+            },
+            "backends": backends,
+            "fleet": fleet,
+            "pools": self._pools.stats(),
+            "metrics": self.metrics.snapshot(),
+        }

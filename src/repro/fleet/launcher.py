@@ -1,0 +1,163 @@
+"""Spawn and drain a fleet of plan-serving backend daemons.
+
+:class:`FleetLauncher` owns the replica *processes* so the gateway can
+stay a pure router: it spawns N ``python -m repro serve`` daemons (or
+attaches to already-running ones), waits until each answers ``ping``,
+and on teardown SIGTERMs the spawned ones and verifies they drained
+cleanly.  The benchmark and the CI smoke job also use it to SIGKILL a
+replica mid-run — the fleet's whole point is surviving exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..service.client import PlanClient
+
+__all__ = ["Backend", "FleetLauncher"]
+
+
+@dataclass
+class Backend:
+    """One replica: its address plus (for spawned ones) the process."""
+
+    address: str
+    process: "subprocess.Popen | None" = None
+    spawned: bool = field(default=False)
+
+    @property
+    def pid(self) -> "int | None":
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+
+def _repro_env() -> "dict[str, str]":
+    """Subprocess env whose ``PYTHONPATH`` can import this very package."""
+    package_root = str(Path(__file__).resolve().parent.parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+class FleetLauncher:
+    """Spawn/attach/drain the backend side of a fleet."""
+
+    def __init__(
+        self,
+        *,
+        n_backends: int = 0,
+        socket_dir: "str | Path | None" = None,
+        attach: "list[str] | tuple[str, ...]" = (),
+        n_workers: int = 0,
+        max_pending: int = 64,
+        cache_size: int = 1024,
+        log_level: str = "warning",
+        startup_timeout_s: float = 30.0,
+        python: str = sys.executable,
+    ):
+        if n_backends < 0:
+            raise ValueError("n_backends must be >= 0")
+        if n_backends and socket_dir is None:
+            raise ValueError("spawning backends requires socket_dir")
+        if not n_backends and not attach:
+            raise ValueError("nothing to launch: n_backends == 0 and no attach list")
+        self.n_backends = n_backends
+        self.socket_dir = Path(socket_dir) if socket_dir is not None else None
+        self.n_workers = n_workers
+        self.max_pending = max_pending
+        self.cache_size = cache_size
+        self.log_level = log_level
+        self.startup_timeout_s = startup_timeout_s
+        self.python = python
+        self.backends: "list[Backend]" = [
+            Backend(address=address, spawned=False) for address in attach
+        ]
+        self._spawn_pending = n_backends
+
+    # ------------------------------------------------------------------
+    @property
+    def addresses(self) -> "tuple[str, ...]":
+        return tuple(backend.address for backend in self.backends)
+
+    def spawn(self) -> "list[Backend]":
+        """Start the configured number of daemons and wait for each ping."""
+        assert self.socket_dir is not None or self._spawn_pending == 0
+        spawned: "list[Backend]" = []
+        for index in range(self._spawn_pending):
+            address = f"unix:{self.socket_dir}/backend-{index}.sock"
+            process = subprocess.Popen(
+                [
+                    self.python, "-m", "repro", "serve",
+                    "--socket", address,
+                    "--workers", str(self.n_workers),
+                    "--max-pending", str(self.max_pending),
+                    "--cache-size", str(self.cache_size),
+                    "--metrics-interval", "0",
+                    "--log-level", self.log_level,
+                ],
+                env=_repro_env(),
+            )
+            backend = Backend(address=address, process=process, spawned=True)
+            self.backends.append(backend)
+            spawned.append(backend)
+        self._spawn_pending = 0
+        for backend in spawned:
+            client = PlanClient.wait_for_server(
+                backend.address, timeout=self.startup_timeout_s
+            )
+            client.close()
+        return spawned
+
+    def kill(self, index: int, sig: int = signal.SIGKILL) -> Backend:
+        """Signal one spawned backend (default: SIGKILL, the hard way)."""
+        backend = self.backends[index]
+        if backend.process is None:
+            raise ValueError(f"backend {backend.address} was attached, not spawned")
+        backend.process.send_signal(sig)
+        return backend
+
+    def terminate(self, *, timeout_s: float = 30.0) -> "dict[str, int | None]":
+        """SIGTERM every spawned, still-running backend; wait for exits.
+
+        Returns address → exit code (negative = died by signal, ``None``
+        for attached backends the launcher does not own).
+        """
+        codes: "dict[str, int | None]" = {}
+        for backend in self.backends:
+            if backend.process is not None and backend.process.poll() is None:
+                try:
+                    backend.process.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        deadline = time.monotonic() + timeout_s
+        for backend in self.backends:
+            if backend.process is None:
+                codes[backend.address] = None
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                codes[backend.address] = backend.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                backend.process.kill()
+                codes[backend.address] = backend.process.wait(timeout=5.0)
+        return codes
+
+    def __enter__(self) -> "FleetLauncher":
+        self.spawn()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.terminate()

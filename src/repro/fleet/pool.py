@@ -1,0 +1,177 @@
+"""Per-backend connection pools for the fleet gateway.
+
+The gateway serves many concurrent client connections, and each forward
+needs a backend connection with *no other request in flight on it* —
+the NDJSON protocol answers in order per connection, so interleaving two
+forwards on one socket would cross their responses.  A
+:class:`ConnectionPool` keeps a bounded free-list of
+:class:`~repro.service.client.PlanClient` objects per backend:
+:meth:`lease` hands an idle connection to exactly one forward at a time
+and returns it afterwards.
+
+Desync safety is structural: :meth:`~repro.service.client.PlanClient.request`
+closes its socket on any transport error (timeout, EOF, truncated
+frame), and :meth:`release` refuses to re-pool a closed client — so a
+connection that may have a stale response in flight can never be handed
+to the next request.  Pools never cache *dead* backends' sockets either:
+the lease context discards on every transport error.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from ..service.client import ClientError, PlanClient
+
+__all__ = ["ConnectionPool", "PoolGroup"]
+
+
+class ConnectionPool:
+    """A bounded free-list of connected clients for one backend."""
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        timeout_s: "float | None" = 60.0,
+        max_idle: int = 8,
+        client_factory: "Callable[..., PlanClient]" = PlanClient,
+    ):
+        if max_idle < 0:
+            raise ValueError("max_idle must be >= 0")
+        self.address = address
+        self.timeout_s = timeout_s
+        self.max_idle = max_idle
+        self._client_factory = client_factory
+        self._idle: "list[PlanClient]" = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self.created = 0
+        self.reused = 0
+        self.discarded = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> PlanClient:
+        """An exclusive connection: pooled if available, else fresh.
+
+        Raises :class:`~repro.service.client.ClientError` when the
+        backend is unreachable.
+        """
+        with self._lock:
+            if self._closed:
+                raise ClientError(f"pool for {self.address} is closed")
+            client = self._idle.pop() if self._idle else None
+            if client is not None:
+                self.reused += 1
+        if client is not None:
+            return client
+        client = self._client_factory(self.address, timeout=self.timeout_s)
+        client.connect()  # raises ClientError if the backend is down
+        with self._lock:
+            self.created += 1
+        return client
+
+    def release(self, client: PlanClient, *, discard: bool = False) -> None:
+        """Return a connection to the free-list.
+
+        Closed clients (a transport error already tore them down) and
+        explicit discards are dropped, never re-pooled — that is the
+        desync guarantee.
+        """
+        if discard or not client.connected:
+            client.close()
+            with self._lock:
+                self.discarded += 1
+            return
+        with self._lock:
+            if not self._closed and len(self._idle) < self.max_idle:
+                self._idle.append(client)
+                return
+            self.discarded += 1
+        client.close()
+
+    @contextmanager
+    def lease(self) -> Iterator[PlanClient]:
+        """``with pool.lease() as client: ...`` — exclusive use, auto-return.
+
+        Transport errors discard the connection; clean exits (including
+        protocol-level error responses, which leave the stream aligned)
+        re-pool it.
+        """
+        client = self.acquire()
+        try:
+            yield client
+        except (ClientError, OSError):
+            self.release(client, discard=True)
+            raise
+        except BaseException:
+            # Protocol errors keep the framing intact; release() still
+            # drops the client if request() closed it (id mismatch etc.).
+            self.release(client)
+            raise
+        else:
+            self.release(client)
+
+    def discard_idle(self) -> int:
+        """Close every pooled connection (e.g. after a breaker trips)."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+            self.discarded += len(idle)
+        for client in idle:
+            client.close()
+        return len(idle)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+        self.discard_idle()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "address": self.address,
+                "idle": len(self._idle),
+                "created": self.created,
+                "reused": self.reused,
+                "discarded": self.discarded,
+            }
+
+
+class PoolGroup:
+    """The gateway's pools, one per backend address."""
+
+    def __init__(
+        self,
+        addresses: "list[str] | tuple[str, ...]",
+        *,
+        timeout_s: "float | None" = 60.0,
+        max_idle: int = 8,
+        client_factory: "Callable[..., PlanClient]" = PlanClient,
+    ):
+        self._pools = {
+            address: ConnectionPool(
+                address,
+                timeout_s=timeout_s,
+                max_idle=max_idle,
+                client_factory=client_factory,
+            )
+            for address in dict.fromkeys(addresses)
+        }
+
+    def __getitem__(self, address: str) -> ConnectionPool:
+        return self._pools[address]
+
+    def lease(self, address: str) -> Iterator[PlanClient]:
+        return self._pools[address].lease()
+
+    def discard_idle(self, address: str) -> int:
+        return self._pools[address].discard_idle()
+
+    def close(self) -> None:
+        for pool in self._pools.values():
+            pool.close()
+
+    def stats(self) -> "list[dict]":
+        return [pool.stats() for pool in self._pools.values()]

@@ -1,0 +1,107 @@
+"""Retry pacing and hedging triggers for the fleet gateway.
+
+Two small, pure policies:
+
+* :class:`BackoffPolicy` — capped exponential backoff with *full jitter*
+  (each delay is uniform on ``[0, min(cap, base * 2**attempt)]``).  Full
+  jitter is the standard cure for retry synchronization: when a replica
+  dies, every client that was talking to it retries, and deterministic
+  backoff would have them all retry in lockstep.
+* :class:`LatencyTracker` — a bounded window of observed latencies that
+  answers "when should a hedge fire?".  A hedged request sends a second
+  attempt to the next-ranked replica once the first has been in flight
+  longer than a high percentile (default p95) of recent latencies: the
+  primary is statistically likely to be slow/stuck, and whichever
+  attempt answers first wins.
+
+Both take injectable randomness/clocks so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from ..service.metrics import percentile
+
+__all__ = ["BackoffPolicy", "LatencyTracker"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with full jitter."""
+
+    base_s: float = 0.02  #: upper bound of the first delay
+    cap_s: float = 0.5  #: ceiling every delay is clamped to
+    max_attempts: int = 4  #: total attempts (first try included)
+
+    def __post_init__(self):
+        if self.base_s < 0 or self.cap_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def ceiling_s(self, attempt: int) -> float:
+        """The deterministic envelope of the ``attempt``-th retry delay."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        return min(self.cap_s, self.base_s * (2.0 ** attempt))
+
+    def delay_s(self, attempt: int, rng: "random.Random | None" = None) -> float:
+        """Full jitter: uniform on ``[0, ceiling_s(attempt)]``."""
+        ceiling = self.ceiling_s(attempt)
+        return (rng or random).uniform(0.0, ceiling)
+
+
+class LatencyTracker:
+    """Thread-safe rolling window of latencies → hedge-fire delay."""
+
+    def __init__(
+        self,
+        *,
+        window: int = 512,
+        quantile: float = 95.0,
+        min_delay_s: float = 0.05,
+        max_delay_s: float = 1.0,
+        default_delay_s: float = 0.25,
+        min_samples: int = 8,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 <= quantile <= 100.0:
+            raise ValueError("quantile must be in [0, 100]")
+        if min_delay_s > max_delay_s:
+            raise ValueError("min_delay_s must be <= max_delay_s")
+        self.quantile = quantile
+        self.min_delay_s = min_delay_s
+        self.max_delay_s = max_delay_s
+        self.default_delay_s = default_delay_s
+        self.min_samples = min_samples
+        self._samples: "deque[float]" = deque(maxlen=window)
+        self._lock = threading.Lock()
+
+    def observe(self, latency_s: float) -> None:
+        with self._lock:
+            self._samples.append(float(latency_s))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def hedge_delay_s(self) -> float:
+        """How long the primary attempt may run before the hedge fires.
+
+        The configured percentile of the recent window, clamped to
+        ``[min_delay_s, max_delay_s]``; ``default_delay_s`` (clamped the
+        same way) until ``min_samples`` observations exist, so a cold
+        gateway neither hedges instantly nor never.
+        """
+        with self._lock:
+            samples = list(self._samples)
+        if len(samples) < self.min_samples:
+            delay = self.default_delay_s
+        else:
+            delay = percentile(samples, self.quantile)
+        return min(self.max_delay_s, max(self.min_delay_s, delay))

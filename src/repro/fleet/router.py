@@ -1,0 +1,68 @@
+"""Deterministic request routing: rendezvous (highest-random-weight) hashing.
+
+The gateway must send identical plan requests to the same replica so
+they land on that replica's warm plan LRU, and it must keep doing so as
+replicas die and come back without reshuffling the whole key space.
+Rendezvous hashing gives both properties with no coordination state:
+every (key, backend) pair gets a score ``sha256(key · backend)``, and a
+key's preference order is its backends sorted by score.  Removing a
+backend only remaps the keys that ranked it first (they fall through to
+their second choice); adding one only claims the keys it now wins.
+
+The router is pure — it never talks to the network.  The gateway walks
+:meth:`RendezvousRouter.rank` in order, skipping replicas whose circuit
+breaker is open (see :mod:`repro.fleet.health`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+__all__ = ["rendezvous_score", "RendezvousRouter"]
+
+
+def rendezvous_score(key: str, backend: str) -> int:
+    """The (key, backend) weight: a 256-bit integer, uniform per pair."""
+    blob = f"{key}\x00{backend}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest(), "big")
+
+
+class RendezvousRouter:
+    """Ranks a fixed set of backends for each request key."""
+
+    def __init__(self, backends: Iterable[str]):
+        # Deduplicate but preserve declaration order (it is the tiebreak
+        # of last resort and should not depend on set iteration).
+        self._backends = tuple(dict.fromkeys(backends))
+        if not self._backends:
+            raise ValueError("router needs at least one backend")
+
+    @property
+    def backends(self) -> "tuple[str, ...]":
+        return self._backends
+
+    def rank(self, key: str) -> "tuple[str, ...]":
+        """Every backend, most- to least-preferred for ``key``.
+
+        Deterministic across processes and runs: scores are pure hashes,
+        ties (impossible in practice for distinct backends) break by
+        declaration order.
+        """
+        return tuple(
+            sorted(
+                self._backends,
+                key=lambda backend: rendezvous_score(key, backend),
+                reverse=True,
+            )
+        )
+
+    def route(
+        self, key: str, *, available: "Sequence[str] | None" = None
+    ) -> "tuple[str, ...]":
+        """:meth:`rank` filtered to ``available`` backends (order kept)."""
+        ranked = self.rank(key)
+        if available is None:
+            return ranked
+        allowed = frozenset(available)
+        return tuple(backend for backend in ranked if backend in allowed)

@@ -21,7 +21,7 @@ See ``docs/SERVICE.md`` for the protocol reference.
 """
 
 from .cache import CacheStats, LRUCache
-from .client import PlanClient, PlanServiceError
+from .client import ClientError, PlanClient, PlanServiceError
 from .metrics import Histogram, ServiceMetrics
 from .protocol import (
     ERROR_CODES,
@@ -31,6 +31,7 @@ from .protocol import (
     decode_message,
     encode_message,
     parse_address,
+    plan_payload_digest,
     scenario_names,
 )
 from .server import PlanServer, ServerConfig
@@ -38,6 +39,7 @@ from .server import PlanServer, ServerConfig
 __all__ = [
     "CacheStats",
     "LRUCache",
+    "ClientError",
     "PlanClient",
     "PlanServiceError",
     "Histogram",
@@ -49,6 +51,7 @@ __all__ = [
     "decode_message",
     "encode_message",
     "parse_address",
+    "plan_payload_digest",
     "scenario_names",
     "PlanServer",
     "ServerConfig",

@@ -28,7 +28,7 @@ from .protocol import (
     parse_address,
 )
 
-__all__ = ["PlanServiceError", "PlanClient"]
+__all__ = ["PlanServiceError", "ClientError", "PlanClient"]
 
 
 class PlanServiceError(RuntimeError):
@@ -38,6 +38,19 @@ class PlanServiceError(RuntimeError):
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
+
+
+class ClientError(ConnectionError):
+    """A transport-level failure: connect refused, send/recv timeout, EOF
+    or truncation mid-frame.
+
+    Whenever this is raised the client has already closed its socket, so
+    the *next* call reconnects from a clean frame boundary instead of
+    reading the tail of an abandoned response.  Distinct from
+    :class:`PlanServiceError` (the daemon answered, with an error) so
+    callers — the fleet gateway's retry loop, the CLI's exit-code map —
+    can tell "replica unreachable" from "replica said no".
+    """
 
 
 class PlanClient:
@@ -55,14 +68,17 @@ class PlanClient:
         if self._sock is not None:
             return self
         parsed = parse_address(self.address)
-        if parsed[0] == "unix":
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(self.timeout)
-            sock.connect(parsed[1])
-        else:
-            _, host, port = parsed
-            sock = socket.create_connection((host, port), timeout=self.timeout)
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            if parsed[0] == "unix":
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(parsed[1])
+            else:
+                _, host, port = parsed
+                sock = socket.create_connection((host, port), timeout=self.timeout)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            raise ClientError(f"cannot connect to {self.address}: {exc}") from exc
         self._sock = sock
         self._fh = sock.makefile("rb")
         return self
@@ -80,6 +96,11 @@ class PlanClient:
             except OSError:
                 pass
             self._sock = None
+
+    @property
+    def connected(self) -> bool:
+        """True while the socket is open (transport errors auto-close it)."""
+        return self._sock is not None
 
     def __enter__(self) -> "PlanClient":
         return self.connect()
@@ -114,7 +135,12 @@ class PlanClient:
         """Send one raw request object, return the matched ``result``.
 
         Raises :class:`PlanServiceError` for ``ok: false`` responses and
-        ``ConnectionError`` if the daemon hangs up mid-request.
+        :class:`ClientError` — after closing the socket — for transport
+        failures: connect/send/recv errors, timeouts, and EOF or
+        truncation mid-frame.  Closing matters: a timed-out request's
+        response is still in flight, and reusing the socket would hand
+        that stale frame to the *next* request.  The next call
+        reconnects transparently.
         """
         if self._sock is None:
             self.connect()
@@ -122,21 +148,42 @@ class PlanClient:
         self._next_id += 1
         request_id = self._next_id
         message = {"id": request_id, **payload}
-        self._sock.sendall(encode_message(message))
-        line = self._fh.readline(MAX_LINE_BYTES + 1)
+        try:
+            self._sock.sendall(encode_message(message))
+            line = self._fh.readline(MAX_LINE_BYTES + 1)
+        except OSError as exc:
+            self.close()
+            raise ClientError(
+                f"request to {self.address} failed mid-frame "
+                f"({type(exc).__name__}: {exc}); connection closed"
+            ) from exc
         if not line:
-            raise ConnectionError(
+            self.close()
+            raise ClientError(
                 f"server at {self.address} closed the connection mid-request"
+            )
+        if not line.endswith(b"\n"):
+            # EOF (or the MAX_LINE_BYTES cap) landed mid-frame: the tail
+            # of this response must never be parsed as the next one.
+            self.close()
+            raise ClientError(
+                f"truncated frame from {self.address} "
+                f"({len(line)} bytes, no terminator); connection closed"
             )
         try:
             response = decode_message(line)
         except ProtocolError as exc:
+            self.close()
             raise PlanServiceError("bad_request", f"unparseable response: {exc}")
         if response.get("id") not in (request_id, None):
+            # A frame for some other request: the stream is desynced
+            # (classically: a previous call timed out and its response
+            # arrived late).  Drop the connection rather than guess.
+            self.close()
             raise PlanServiceError(
                 "internal",
                 f"response id {response.get('id')!r} does not match "
-                f"request id {request_id!r}",
+                f"request id {request_id!r}; connection closed",
             )
         if not response.get("ok"):
             error = response.get("error") or {}

@@ -60,6 +60,8 @@ __all__ = [
     "scenario_names",
     "resolve_scenario",
     "PlanRequest",
+    "PLAN_PAYLOAD_DETERMINISTIC_FIELDS",
+    "plan_payload_digest",
     "parse_address",
 ]
 
@@ -77,6 +79,7 @@ ERROR_CODES = (
     "deadline_exceeded",  #: the request's deadline elapsed before completion
     "overloaded",         #: load shed: too many distinct computations in flight
     "shutting_down",      #: daemon is draining; no new work accepted
+    "unavailable",        #: gateway: no healthy replica reachable for this request
     "internal",           #: unexpected server-side failure
 )
 
@@ -246,6 +249,39 @@ class PlanRequest:
             n_periods=self.n_periods,
             supply_factor=self.supply_factor,
         )
+
+
+#: The plan-payload fields that are pure functions of the request — what
+#: "bit-identical plans" means across replicas.  Serving metadata
+#: (``cached``, ``compute_wall_s``, allocation-memo traffic, the
+#: gateway's ``served_by`` tag) varies by which process answered and is
+#: excluded by construction.
+PLAN_PAYLOAD_DETERMINISTIC_FIELDS = (
+    "scenario",
+    "policy",
+    "n_periods",
+    "supply_factor",
+    "digest",
+    "wasted",
+    "undersupplied",
+    "utilization",
+    "plan_iterations",
+    "plan_used_fallback",
+    "plan_feasible",
+    "allocated_power",
+)
+
+
+def plan_payload_digest(payload: Mapping) -> str:
+    """SHA-256 over the deterministic subset of a plan payload.
+
+    Two replicas served the same plan iff their payloads share this
+    digest — the cross-replica determinism check the fleet tests and the
+    gateway's hedged requests rely on.
+    """
+    subset = {key: payload.get(key) for key in PLAN_PAYLOAD_DETERMINISTIC_FIELDS}
+    blob = dumps_json(subset, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------

@@ -122,6 +122,7 @@ class PlanServer:
         self._dispatch_lock = threading.Lock()
         self._inflight: "dict[str, _Inflight]" = {}
         self._pending = 0
+        self._active_requests = 0  # requests currently being handled
 
         self._threads: "list[threading.Thread]" = []
         self._conns: "dict[int, socket.socket]" = {}
@@ -347,6 +348,8 @@ class PlanServer:
         op = message.get("op")
         self.metrics.inc("requests_total")
         self.metrics.inc(f"requests_{op}" if isinstance(op, str) else "requests_invalid")
+        with self._dispatch_lock:
+            self._active_requests += 1
         t0 = time.perf_counter()
         try:
             result = self._dispatch(op, message)
@@ -361,6 +364,8 @@ class PlanServer:
         finally:
             if isinstance(op, str):
                 self.metrics.observe(f"latency_{op}_s", time.perf_counter() - t0)
+            with self._dispatch_lock:
+                self._active_requests -= 1
         return response
 
     def _dispatch(self, op: object, message: Mapping) -> dict:
@@ -607,10 +612,27 @@ class PlanServer:
     def _handle_status(self) -> dict:
         executor = self._executor
         memo = allocation_cache_stats()
+        cache_stats = self._plan_cache.stats()
         with self._dispatch_lock:
             pending = self._pending
             inflight = len(self._inflight)
+            # Minus this status request itself: the caller wants to know
+            # how loaded the replica is, not that it is being asked.
+            active = self._active_requests - 1
         return {
+            # The one-stop load view gateway health probes read: how busy
+            # is this replica right now, and is its cache pulling weight?
+            "load": {
+                "active_requests": active,
+                "executor_queue_depth": (
+                    executor.queue_depth if executor is not None else 0
+                ),
+                "pending": pending,
+                "inflight": inflight,
+                "plan_cache_hits": cache_stats.hits,
+                "plan_cache_misses": cache_stats.misses,
+                "plan_cache_hit_rate": cache_stats.hit_rate,
+            },
             "server": {
                 "address": self._endpoint,
                 "pid": os.getpid(),
@@ -620,12 +642,16 @@ class PlanServer:
                 "executor_mode": executor.mode if executor is not None else None,
                 "pending": pending,
                 "inflight": inflight,
+                "active_requests": active,
+                "executor_queue_depth": (
+                    executor.queue_depth if executor is not None else 0
+                ),
                 "max_pending": self.config.max_pending,
                 "default_deadline_s": self.config.default_deadline_s,
                 "scenarios": list(scenario_names()),
                 "policies": list(policy_names()),
             },
-            "plan_cache": self._plan_cache.stats().as_dict(),
+            "plan_cache": cache_stats.as_dict(),
             "allocation_memo": {
                 "hits": memo.hits,
                 "misses": memo.misses,

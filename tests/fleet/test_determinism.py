@@ -1,0 +1,124 @@
+"""Cross-replica determinism: the same plan request must produce a
+byte-identical plan no matter which replica computes it.
+
+This is what makes the fleet's failover, hedging, and sticky-rerouting
+*safe*: a client can never observe two different answers for one
+request.  The comparison is over the deterministic payload subset
+(:data:`repro.service.protocol.PLAN_PAYLOAD_DETERMINISTIC_FIELDS`) —
+per-replica serving artifacts (``cached``, ``compute_wall_s``,
+``served_by``) are explicitly excluded.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.fleet.gateway import GatewayConfig, PlanGateway
+from repro.fleet.router import RendezvousRouter
+from repro.service.client import PlanClient
+from repro.service.protocol import (
+    PLAN_PAYLOAD_DETERMINISTIC_FIELDS,
+    PlanRequest,
+    plan_payload_digest,
+)
+from repro.service.server import PlanServer, ServerConfig
+from repro.util.jsonio import dumps_json
+
+REQUESTS = [
+    {"scenario": "scenario1", "policy": "proposed", "n_periods": 2, "supply_factor": 1.0},
+    {"scenario": "scenario1", "policy": "static", "n_periods": 1, "supply_factor": 0.9},
+    {"scenario": "scenario2", "policy": "proposed", "n_periods": 1, "supply_factor": 1.1},
+]
+
+
+@contextmanager
+def running_server(tmp_path, frontier, name, **overrides):
+    overrides.setdefault("address", f"unix:{tmp_path}/{name}.sock")
+    overrides.setdefault("metrics_interval_s", 0.0)
+    server = PlanServer(ServerConfig(**overrides), frontier=frontier)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+def deterministic_bytes(payload: dict) -> bytes:
+    subset = {key: payload.get(key) for key in PLAN_PAYLOAD_DETERMINISTIC_FIELDS}
+    return dumps_json(subset, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+class TestCrossReplicaDeterminism:
+    def test_independent_replicas_serve_byte_identical_plans(
+        self, tmp_path, frontier
+    ):
+        """Two replicas, warmed independently, agree bit-for-bit."""
+        with running_server(tmp_path, frontier, "a") as a, \
+                running_server(tmp_path, frontier, "b") as b:
+            with PlanClient(a.endpoint, timeout=60.0) as ca, \
+                    PlanClient(b.endpoint, timeout=60.0) as cb:
+                for request in REQUESTS:
+                    from_a = ca.plan(**request)
+                    from_b = cb.plan(**request)
+                    # ... and again, so one side answers from its cache.
+                    cached_a = ca.plan(**request)
+                    assert deterministic_bytes(from_a) == deterministic_bytes(from_b)
+                    assert deterministic_bytes(cached_a) == deterministic_bytes(from_b)
+                    assert plan_payload_digest(from_a) == plan_payload_digest(from_b)
+                    # The request-content digest agrees too (same cache key).
+                    assert from_a["digest"] == from_b["digest"]
+
+    def test_failover_replica_answers_identically(self, tmp_path, frontier):
+        """Kill the primary between two identical requests: the answer
+        from the failover replica is byte-identical."""
+        with running_server(tmp_path, frontier, "a") as a, \
+                running_server(tmp_path, frontier, "b") as b:
+            backends = (a.endpoint, b.endpoint)
+            request = PlanRequest("scenario1", "proposed", 1, 1.0)
+            router = RendezvousRouter(backends)
+            primary = router.rank(request.digest())[0]
+            primary_server = a if primary == a.endpoint else b
+            survivor = b if primary_server is a else a
+            gateway = PlanGateway(
+                GatewayConfig(
+                    address=f"unix:{tmp_path}/gw.sock",
+                    backends=backends,
+                    hedge=False,
+                    rng_seed=0,
+                    backoff_base_s=0.001,
+                    probe_interval_s=30.0,
+                    failure_threshold=1,
+                )
+            )
+            gateway.start()
+            try:
+                with PlanClient(gateway.endpoint, timeout=60.0) as client:
+                    def plan() -> dict:
+                        return client.plan(
+                            request.scenario,
+                            policy=request.policy,
+                            n_periods=request.n_periods,
+                            supply_factor=request.supply_factor,
+                        )
+
+                    before = plan()
+                    assert before["served_by"] == primary
+                    primary_server.stop()
+                    after = plan()
+                    assert after["served_by"] == survivor.endpoint
+            finally:
+                gateway.stop()
+        assert deterministic_bytes(before) == deterministic_bytes(after)
+        assert plan_payload_digest(before) == plan_payload_digest(after)
+
+    def test_digest_ignores_serving_artifacts_only(self):
+        payload = {key: 1 for key in PLAN_PAYLOAD_DETERMINISTIC_FIELDS}
+        noisy = {
+            **payload,
+            "cached": True,
+            "compute_wall_s": 0.123,
+            "served_by": "unix:/somewhere.sock",
+        }
+        assert plan_payload_digest(noisy) == plan_payload_digest(payload)
+        changed = {**payload, "wasted": 2}
+        assert plan_payload_digest(changed) != plan_payload_digest(payload)

@@ -1,0 +1,112 @@
+"""Connection pools: reuse, desync-safe discard, lease semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.pool import ConnectionPool, PoolGroup
+from repro.service.client import ClientError, PlanServiceError
+
+
+class FakeClient:
+    """Connection-shaped test double with a controllable socket state."""
+
+    def __init__(self, address: str, *, timeout=None):
+        self.address = address
+        self._connected = False
+        self.connect_calls = 0
+        self.close_calls = 0
+
+    @property
+    def connected(self) -> bool:
+        return self._connected
+
+    def connect(self):
+        self.connect_calls += 1
+        if self.address.endswith("dead"):
+            raise ClientError(f"cannot connect to {self.address}")
+        self._connected = True
+        return self
+
+    def close(self) -> None:
+        self.close_calls += 1
+        self._connected = False
+
+
+class TestConnectionPool:
+    def make_pool(self, address="unix:/ok", **kwargs) -> ConnectionPool:
+        kwargs.setdefault("client_factory", FakeClient)
+        return ConnectionPool(address, **kwargs)
+
+    def test_acquire_creates_then_reuses(self):
+        pool = self.make_pool()
+        first = pool.acquire()
+        pool.release(first)
+        second = pool.acquire()
+        assert second is first
+        assert pool.stats()["created"] == 1
+        assert pool.stats()["reused"] == 1
+
+    def test_unreachable_backend_raises_client_error(self):
+        pool = self.make_pool("unix:/dead")
+        with pytest.raises(ClientError):
+            pool.acquire()
+
+    def test_closed_clients_are_never_repooled(self):
+        pool = self.make_pool()
+        client = pool.acquire()
+        client.close()  # what PlanClient.request does on a transport error
+        pool.release(client)
+        assert pool.stats()["idle"] == 0
+        assert pool.stats()["discarded"] == 1
+
+    def test_max_idle_bounds_the_freelist(self):
+        pool = self.make_pool(max_idle=1)
+        a, b = pool.acquire(), pool.acquire()
+        pool.release(a)
+        pool.release(b)
+        assert pool.stats()["idle"] == 1
+        assert b.close_calls == 1  # overflow closed, not leaked
+
+    def test_lease_discards_on_transport_error(self):
+        pool = self.make_pool()
+        with pytest.raises(ClientError):
+            with pool.lease() as client:
+                client.close()  # simulate request() tearing down mid-frame
+                raise ClientError("mid-frame timeout")
+        assert pool.stats()["idle"] == 0
+
+    def test_lease_repools_after_protocol_error(self):
+        # An ok:false response leaves the stream aligned — keep the socket.
+        pool = self.make_pool()
+        with pytest.raises(PlanServiceError):
+            with pool.lease():
+                raise PlanServiceError("overloaded", "shed")
+        assert pool.stats()["idle"] == 1
+
+    def test_discard_idle_closes_everything(self):
+        pool = self.make_pool()
+        clients = [pool.acquire() for _ in range(3)]
+        for client in clients:
+            pool.release(client)
+        assert pool.discard_idle() == 3
+        assert all(c.close_calls == 1 for c in clients)
+        assert pool.stats()["idle"] == 0
+
+    def test_close_rejects_new_leases(self):
+        pool = self.make_pool()
+        pool.close()
+        with pytest.raises(ClientError):
+            pool.acquire()
+
+
+class TestPoolGroup:
+    def test_group_routes_by_address(self):
+        group = PoolGroup(["unix:/a", "unix:/b"], client_factory=FakeClient)
+        with group.lease("unix:/a") as client:
+            assert client.address == "unix:/a"
+        assert group["unix:/a"].stats()["idle"] == 1
+        assert group["unix:/b"].stats()["idle"] == 0
+        stats = group.stats()
+        assert [s["address"] for s in stats] == ["unix:/a", "unix:/b"]
+        group.close()

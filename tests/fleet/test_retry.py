@@ -1,0 +1,90 @@
+"""Backoff jitter envelopes and the hedge-delay tracker."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fleet.retry import BackoffPolicy, LatencyTracker
+
+
+class TestBackoffPolicy:
+    def test_ceiling_doubles_then_caps(self):
+        policy = BackoffPolicy(base_s=0.1, cap_s=0.5, max_attempts=6)
+        assert policy.ceiling_s(0) == pytest.approx(0.1)
+        assert policy.ceiling_s(1) == pytest.approx(0.2)
+        assert policy.ceiling_s(2) == pytest.approx(0.4)
+        assert policy.ceiling_s(3) == pytest.approx(0.5)  # capped
+        assert policy.ceiling_s(10) == pytest.approx(0.5)
+
+    def test_full_jitter_within_envelope(self):
+        policy = BackoffPolicy(base_s=0.1, cap_s=0.5)
+        rng = random.Random(7)
+        for attempt in range(6):
+            delays = [policy.delay_s(attempt, rng) for _ in range(200)]
+            ceiling = policy.ceiling_s(attempt)
+            assert all(0.0 <= d <= ceiling for d in delays)
+            # full jitter actually uses the lower range too
+            assert min(delays) < ceiling * 0.25
+            assert max(delays) > ceiling * 0.75
+
+    def test_deterministic_with_seeded_rng(self):
+        policy = BackoffPolicy()
+        a = [policy.delay_s(i, random.Random(42)) for i in range(4)]
+        b = [policy.delay_s(i, random.Random(42)) for i in range(4)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=-0.1)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy().ceiling_s(-1)
+
+
+class TestLatencyTracker:
+    def test_default_until_min_samples(self):
+        tracker = LatencyTracker(
+            min_samples=4, default_delay_s=0.3, min_delay_s=0.05, max_delay_s=1.0
+        )
+        assert tracker.hedge_delay_s() == pytest.approx(0.3)
+        for _ in range(3):
+            tracker.observe(10.0)
+        assert tracker.hedge_delay_s() == pytest.approx(0.3)  # still warming up
+
+    def test_tracks_percentile_once_warm(self):
+        tracker = LatencyTracker(
+            quantile=50.0, min_samples=4, min_delay_s=0.0, max_delay_s=10.0
+        )
+        for value in (0.1, 0.2, 0.3, 0.4, 0.5):
+            tracker.observe(value)
+        assert tracker.hedge_delay_s() == pytest.approx(0.3)
+
+    def test_clamped_to_bounds(self):
+        tracker = LatencyTracker(min_samples=1, min_delay_s=0.05, max_delay_s=0.2)
+        tracker.observe(0.0001)
+        assert tracker.hedge_delay_s() == pytest.approx(0.05)  # floor
+        for _ in range(50):
+            tracker.observe(9.0)
+        assert tracker.hedge_delay_s() == pytest.approx(0.2)  # ceiling
+
+    def test_window_ages_out_old_latencies(self):
+        tracker = LatencyTracker(
+            window=8, quantile=50.0, min_samples=1, min_delay_s=0.0, max_delay_s=99.0
+        )
+        for _ in range(8):
+            tracker.observe(5.0)
+        for _ in range(8):  # a regime change fully displaces the window
+            tracker.observe(0.1)
+        assert tracker.hedge_delay_s() == pytest.approx(0.1)
+        assert len(tracker) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyTracker(window=0)
+        with pytest.raises(ValueError):
+            LatencyTracker(quantile=101.0)
+        with pytest.raises(ValueError):
+            LatencyTracker(min_delay_s=2.0, max_delay_s=1.0)

@@ -3,10 +3,48 @@
 from __future__ import annotations
 
 import json
+import socket
+import threading
+from contextlib import contextmanager
 
 import pytest
 
 from repro.cli import main
+
+
+@contextmanager
+def _scripted_daemon(tmp_path, code, message):
+    """A fake daemon answering every request with one error response."""
+    path = f"{tmp_path}/scripted.sock"
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.bind(path)
+    sock.listen(4)
+
+    def serve() -> None:
+        while True:
+            try:
+                conn, _ = sock.accept()
+            except OSError:
+                return
+            with conn:
+                fh = conn.makefile("rb")
+                line = fh.readline()
+                if not line:
+                    continue
+                request_id = json.loads(line).get("id")
+                reply = {
+                    "id": request_id,
+                    "ok": False,
+                    "error": {"code": code, "message": message},
+                }
+                conn.sendall((json.dumps(reply) + "\n").encode("utf-8"))
+                fh.close()
+
+    threading.Thread(target=serve, daemon=True).start()
+    try:
+        yield f"unix:{path}"
+    finally:
+        sock.close()
 
 
 class TestCli:
@@ -68,10 +106,29 @@ class TestExitCodes:
         assert err.startswith("error:")
         assert "bogus" in err
 
-    def test_client_without_daemon_exits_nonzero(self, tmp_path, capsys):
+    def test_client_without_daemon_exits_transport_code(self, tmp_path, capsys):
+        # transport failures (no daemon, refused, timeout) exit 3, so a
+        # supervisor can tell "unreachable" from "daemon said no" (1/4)
         missing = f"unix:{tmp_path}/nothing-here.sock"
-        assert main(["client", "ping", "--socket", missing]) == 1
+        assert main(["client", "ping", "--socket", missing]) == 3
         assert capsys.readouterr().err.startswith("error:")
+
+    def test_overloaded_daemon_exits_backpressure_code(self, tmp_path, capsys):
+        with _scripted_daemon(tmp_path, "overloaded", "queue full") as address:
+            assert main(["client", "ping", "--socket", address]) == 4
+        assert "overloaded" in capsys.readouterr().err
+
+    def test_unavailable_fleet_exits_transport_code(self, tmp_path, capsys):
+        with _scripted_daemon(tmp_path, "unavailable", "no replica") as address:
+            assert main(["client", "ping", "--socket", address]) == 3
+        assert "unavailable" in capsys.readouterr().err
+
+    def test_service_rejection_exits_one(self, tmp_path, capsys):
+        with _scripted_daemon(tmp_path, "unknown_scenario", "atlantis") as address:
+            assert main([
+                "client", "plan", "--socket", address, "--scenario", "atlantis",
+            ]) == 1
+        assert "unknown_scenario" in capsys.readouterr().err
 
     def test_serve_bad_address_exits_nonzero(self, capsys):
         assert main(["serve", "--socket", "justaname"]) == 1
@@ -119,5 +176,10 @@ class TestServeClient:
             assert main(["client", "status", "--socket", address]) == 0
             status = json.loads(capsys.readouterr().out)
             assert status["plan_cache"]["misses"] == 1
+            # the load section the fleet health monitor scrapes
+            assert status["load"]["plan_cache_misses"] == 1
+            assert status["load"]["active_requests"] == 0
+            assert status["load"]["executor_queue_depth"] == 0
+            assert "inflight" in status["load"]
         finally:
             server.stop()

@@ -21,6 +21,8 @@ PACKAGES = [
     "repro.baselines",
     "repro.scenarios",
     "repro.analysis",
+    "repro.service",
+    "repro.fleet",
 ]
 
 
