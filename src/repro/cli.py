@@ -20,6 +20,10 @@ Usage::
     python -m repro client status     # thin client for the daemon
     python -m repro fleet --socket /tmp/repro-fleet.sock --backends 3
                                       # gateway + N replicas (docs/FLEET.md)
+    python -m repro verify [--seed N] [--cases N] [--corrupt]
+                                      # paper-invariant oracle + differential
+                                      # checks + fuzzers (docs/VERIFY.md);
+                                      # exits nonzero on any violation
 
 Every subcommand accepts ``--log-level``; planner or simulation failures
 exit nonzero with a one-line error instead of a traceback.  ``client``
@@ -203,6 +207,13 @@ def _serve_main(argv: list[str]) -> int:
         "--alloc-memo-size", type=int, default=None, metavar="N",
         help="resize the process allocation memo (default: leave as-is)",
     )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help=(
+            "check mode: run every computed plan through the paper-invariant "
+            "oracle; violations are logged and surfaced in status (docs/VERIFY.md)"
+        ),
+    )
     _add_log_level(parser)
     args = parser.parse_args(argv)
     _configure_logging(args.log_level)
@@ -215,6 +226,7 @@ def _serve_main(argv: list[str]) -> int:
         drain_timeout_s=args.drain_timeout,
         metrics_interval_s=args.metrics_interval,
         alloc_memo_size=args.alloc_memo_size,
+        verify=args.verify,
     )
     server = PlanServer(config)
     try:
@@ -459,16 +471,217 @@ def _fleet_main(argv: list[str]) -> int:
             socket_dir_ctx.cleanup()
 
 
+def _verify_main(argv: list[str]) -> int:
+    """The ``verify`` subcommand: one oracle over the whole stack.
+
+    Exit 0 only when every check passes; any violation (including a
+    corruption the oracle *fails* to catch under ``--corrupt``) exits 1.
+    """
+    import random as _random
+    import tempfile
+
+    from .verify import CheckSession, check_plan_payload, verify_scenario
+    from .verify.differential import check_continuous_agreement, check_discrete_search
+    from .verify.fuzz import corrupt_payload, fuzz_engine, fuzz_protocol, fuzz_scenarios
+    from .verify.oracle import VerificationReport, Violation
+
+    parser = argparse.ArgumentParser(
+        prog="repro-dpm verify",
+        description=(
+            "Run the paper-invariant oracle, differential checks, and "
+            "seeded fuzzers across core, service, and fleet (docs/VERIFY.md)."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="fuzzer seed; a failing case replays from the same seed (default 0)",
+    )
+    parser.add_argument(
+        "--cases", type=int, default=100, metavar="N",
+        help="fuzz cases per fuzzer (default 100)",
+    )
+    parser.add_argument(
+        "--scenarios", choices=_SCENARIO_SETS, default="all",
+        help="scenario set for the end-to-end oracle pass (default all)",
+    )
+    parser.add_argument(
+        "--skip-protocol", action="store_true",
+        help="skip the live daemon/gateway protocol fuzz (no sockets opened)",
+    )
+    parser.add_argument(
+        "--corrupt", action="store_true",
+        help=(
+            "inject a seeded fault into a valid plan payload and require the "
+            "oracle to reject it (always exits nonzero: either the corruption "
+            "is caught — reported as the injected violation — or the miss is)"
+        ),
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write the combined report as JSON"
+    )
+    _add_log_level(parser)
+    args = parser.parse_args(argv)
+    _configure_logging(args.log_level)
+    if args.cases < 1:
+        parser.error("--cases must be >= 1")
+
+    frontier = pama_frontier()
+    reports: dict[str, VerificationReport] = {}
+
+    # 1 — end-to-end oracle over the named scenarios (Eqs. 6/8/10, Alg. 1–2)
+    session = CheckSession()
+    for scenario in _sweep_scenario_set(args.scenarios):
+        for supply_factor in (1.0, 0.9):
+            verify_scenario(
+                scenario, frontier, supply_factor=supply_factor, session=session
+            )
+    reports["scenarios"] = session.report()
+
+    # 2 — differential sweep on the PAMA table (Alg. 2 vs Eq. 18)
+    from .core.pareto import build_operating_points
+    from .scenarios.paper import (
+        FREQUENCIES_HZ,
+        N_WORKERS,
+        pama_performance_model,
+        pama_power_model,
+    )
+
+    session = CheckSession()
+    perf_model = pama_performance_model()
+    power_model = pama_power_model(include_standby_floor=False)
+    points = build_operating_points(
+        N_WORKERS, FREQUENCIES_HZ, perf_model, power_model, count_standby=False
+    )
+    rng = _random.Random(f"{args.seed}:budgets")
+    for i in range(max(args.cases, 100)):
+        budget = rng.uniform(0.0, 1.3 * frontier.max_power)
+        session.push_context(f"budget sweep {i}")
+        try:
+            session.run(check_discrete_search, frontier, points, budget)
+            session.run(
+                check_continuous_agreement,
+                frontier,
+                points,
+                perf_model,
+                power_model,
+                budget,
+                n_max=N_WORKERS,
+            )
+        finally:
+            session.pop_context()
+    reports["differential"] = session.report()
+
+    # 3/4 — seeded fuzzers (replayable from --seed/--cases)
+    reports["fuzz_scenarios"] = fuzz_scenarios(args.seed, args.cases)
+    reports["fuzz_engine"] = fuzz_engine(args.seed, max(10, args.cases // 2))
+
+    # 5 — protocol fuzz against a live daemon, then a gateway fronting it
+    if not args.skip_protocol:
+        from .fleet.gateway import GatewayConfig, PlanGateway
+        from .service.server import PlanServer, ServerConfig
+
+        protocol_cases = min(args.cases, 50)
+        with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+            server = PlanServer(
+                ServerConfig(
+                    address=f"unix:{tmp}/daemon.sock",
+                    metrics_interval_s=0.0,
+                    verify=True,
+                ),
+                frontier=frontier,
+            )
+            server.start()
+            gateway = None
+            try:
+                reports["fuzz_protocol_daemon"] = fuzz_protocol(
+                    server.endpoint, args.seed, protocol_cases
+                )
+                gateway = PlanGateway(
+                    GatewayConfig(
+                        address=f"unix:{tmp}/gateway.sock",
+                        backends=[server.endpoint],
+                        probe_interval_s=0.2,
+                    )
+                )
+                gateway.start()
+                reports["fuzz_protocol_gateway"] = fuzz_protocol(
+                    gateway.endpoint, args.seed, protocol_cases
+                )
+            finally:
+                if gateway is not None:
+                    gateway.stop()
+                server.stop()
+
+    # 6 — seeded corruption: the oracle must reject a deliberately broken plan
+    if args.corrupt:
+        from .analysis.batch import run_cell
+        from .service.protocol import PlanRequest
+        from .service.server import PlanServer as _PS
+
+        request = PlanRequest("scenario1", supply_factor=0.9)
+        outcome = run_cell(request.to_cell_spec(), frontier)
+        payload = _PS._plan_payload(request, request.digest(), outcome)
+        clean = check_plan_payload(payload, frontier=frontier)
+        mutated, fault = corrupt_payload(
+            payload, _random.Random(f"{args.seed}:corrupt")
+        )
+        caught = check_plan_payload(mutated, frontier=frontier)
+        session = CheckSession()
+        session.add(clean)  # a valid plan must pass before the fault counts
+        session.push_context(f"injected fault: {fault}")
+        try:
+            if caught:
+                session.add(caught)
+            else:
+                session.add(
+                    [
+                        Violation(
+                            "oracle_miss",
+                            "oracle accepted the corrupted payload",
+                        )
+                    ]
+                )
+        finally:
+            session.pop_context()
+        reports["corrupt"] = session.report()
+
+    total = VerificationReport(0)
+    for name, report in reports.items():
+        print(f"{name:24s} {report.summary()}")
+        total = total + report
+    for violation in total.violations:
+        print(f"  VIOLATION {violation}")
+    verdict = "PASS" if total.ok else "FAIL"
+    if args.corrupt:
+        verdict = "FAIL (expected: --corrupt injects a fault)" if not total.ok else verdict
+    print(f"{verdict}: {total.summary()} (seed {args.seed}, {args.cases} cases)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            dump_json(
+                {
+                    "seed": args.seed,
+                    "cases": args.cases,
+                    "stages": {k: r.as_dict() for k, r in reports.items()},
+                    "total": total.as_dict(),
+                },
+                fh,
+                indent=2,
+            )
+    return 0 if total.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
-    # serve/client/fleet carry their own flag sets; dispatch before the
-    # experiment parser so `repro serve --workers 4` parses cleanly.
+    # serve/client/fleet/verify carry their own flag sets; dispatch before
+    # the experiment parser so `repro serve --workers 4` parses cleanly.
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
     if argv and argv[0] == "client":
         return _client_main(argv[1:])
     if argv and argv[0] == "fleet":
         return _fleet_main(argv[1:])
+    if argv and argv[0] == "verify":
+        return _verify_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-dpm",
         description=(

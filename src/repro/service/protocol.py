@@ -123,6 +123,10 @@ def decode_message(line: "bytes | str") -> dict:
         payload = json.loads(line, parse_constant=_reject_constant)
     except json.JSONDecodeError as exc:
         raise ProtocolError("bad_request", f"invalid JSON: {exc}") from exc
+    except RecursionError as exc:
+        # pathologically nested frames blow the parser's stack; without
+        # this they would kill the connection thread with no response.
+        raise ProtocolError("bad_request", "JSON nesting too deep") from exc
     if not isinstance(payload, dict):
         raise ProtocolError("bad_request", "message must be a JSON object")
     return payload

@@ -89,6 +89,7 @@ class ServerConfig:
     metrics_interval_s: float = 60.0  #: periodic log cadence (0 disables)
     alloc_memo_size: "int | None" = None  #: resize the allocation memo
     accept_backlog: int = 128
+    verify: bool = False  #: run every computed plan through the oracle
 
 
 class _Inflight:
@@ -113,6 +114,13 @@ class PlanServer:
         self.config = config or ServerConfig()
         self.frontier = frontier if frontier is not None else pama_frontier()
         self.metrics = ServiceMetrics()
+        self._verifier = None
+        if self.config.verify:
+            from ..verify.runtime import RuntimeVerifier
+
+            self._verifier = RuntimeVerifier(
+                frontier=self.frontier, metrics=self.metrics
+            )
         self._plan_cache: "LRUCache[str, dict]" = LRUCache(self.config.cache_size)
         self._executor: "CellExecutor | None" = None
         self._listener: "socket.socket | None" = None
@@ -480,9 +488,12 @@ class PlanServer:
             self._pending -= 1
         if future.cancelled() or future.exception() is not None:
             return
-        self._plan_cache.put(
-            digest, self._plan_payload(request, digest, future.result())
-        )
+        payload = self._plan_payload(request, digest, future.result())
+        self._plan_cache.put(digest, payload)
+        if self._verifier is not None:
+            # Once per computed plan (cache hits re-serve a checked payload);
+            # violations are counted and logged, never block serving.
+            self._verifier.check_payload(payload)
 
     @staticmethod
     def _plan_payload(request: PlanRequest, digest: str, outcome: CellOutcome) -> dict:
@@ -632,6 +643,11 @@ class PlanServer:
                 "plan_cache_hits": cache_stats.hits,
                 "plan_cache_misses": cache_stats.misses,
                 "plan_cache_hit_rate": cache_stats.hit_rate,
+                "verify": (
+                    self._verifier.snapshot()
+                    if self._verifier is not None
+                    else {"enabled": False, "plans_checked": 0, "violations": 0}
+                ),
             },
             "server": {
                 "address": self._endpoint,

@@ -1,0 +1,50 @@
+"""Verification subsystem: invariant oracle, differential checks, fuzzing.
+
+One oracle instead of ad-hoc assertions: every layer of the stack —
+allocator, parameter search, energy accounting, plan-serving daemon,
+fleet gateway — can hand its output to :mod:`repro.verify.oracle` and get
+back structured violation records tied to the paper's equations.
+
+* :mod:`repro.verify.oracle` — pure invariant checks (Eqs. 6, 8, 10;
+  Pareto dominance; payload structure) over finished artifacts.
+* :mod:`repro.verify.differential` — the discrete ``(n, f, v)`` search
+  against the Eq. 18 continuous closed form, and the fast allocator
+  against a brute-force reference on small grids.
+* :mod:`repro.verify.fuzz` — seeded, replayable scenario/engine fuzzers
+  plus an NDJSON protocol fuzzer for the daemon and the fleet gateway.
+* :mod:`repro.verify.runtime` — opt-in check mode: a self-checking
+  :class:`~repro.sim.engine.SimulationEngine` subclass and the
+  :class:`RuntimeVerifier` the plan server runs its responses through.
+
+The ``repro verify`` CLI subcommand drives all of it (docs/VERIFY.md).
+"""
+
+from .oracle import (
+    CheckSession,
+    VerificationReport,
+    Violation,
+    check_allocation_result,
+    check_battery_bounds,
+    check_energy_balance,
+    check_energy_run,
+    check_pareto_frontier,
+    check_plan_payload,
+    check_power_consistency,
+    check_wpuf_normalization,
+    verify_scenario,
+)
+
+__all__ = [
+    "Violation",
+    "VerificationReport",
+    "CheckSession",
+    "check_battery_bounds",
+    "check_energy_balance",
+    "check_wpuf_normalization",
+    "check_power_consistency",
+    "check_pareto_frontier",
+    "check_allocation_result",
+    "check_energy_run",
+    "check_plan_payload",
+    "verify_scenario",
+]

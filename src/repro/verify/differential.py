@@ -1,0 +1,253 @@
+"""Differential checks: two independent solvers must agree.
+
+Two cross-checks, each pitting the production fast path against a slower
+but obviously-correct reference:
+
+* :func:`check_discrete_search` / :func:`check_continuous_agreement` —
+  the Pareto-table lookup (Algorithm 2's per-slot step) against a linear
+  scan of the raw table and against the Eq. 18 four-regime closed form.
+  The discrete table charges stand-by floors the continuous relaxation
+  ignores, so discrete performance can never exceed the continuous
+  optimum; and any quantized-down version of the continuous optimum that
+  fits the budget lower-bounds what the table must achieve.
+* :func:`check_allocator_vs_brute_force` — Algorithm 1's reshaping
+  allocator against :func:`brute_force_feasible`, which enumerates
+  level-combination shapes on a small grid and rescales each to exact
+  energy balance.  A witness found by brute force while the allocator
+  reports infeasible is a completeness bug.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.allocation import allocate
+from ..core.continuous import optimal_parameters
+from ..core.pareto import OperatingFrontier, OperatingPoint
+from ..core.surplus import battery_trajectory, check_trajectory
+from ..models.battery import BatterySpec
+from ..models.performance import PerformanceModel
+from ..models.power import PowerModel
+from ..util.schedule import Schedule
+from .oracle import Violation
+
+__all__ = [
+    "check_discrete_search",
+    "check_continuous_agreement",
+    "brute_force_feasible",
+    "check_allocator_vs_brute_force",
+]
+
+#: Relative tolerance for perf comparisons across the two solvers.  The
+#: continuous model and the discrete table evaluate the same Eq. 4/6
+#: formulas, so disagreement beyond float noise is a real bug.
+REL_TOL = 1e-6
+
+
+def check_discrete_search(
+    frontier: OperatingFrontier,
+    points: Sequence[OperatingPoint],
+    budget: float,
+    *,
+    tol: float = 1e-9,
+) -> list[Violation]:
+    """The frontier's budget lookup vs a linear scan of the full table.
+
+    ``points`` is the raw (unpruned) operating-point table the frontier
+    was built from.  The bisect-based :meth:`best_within_power` must pick
+    a point whose performance matches the best affordable raw point.
+    """
+    chosen = frontier.best_within_power(budget)
+    if chosen.power > budget * (1 + 1e-12) + tol:
+        # below-minimum budget: the frontier returns its cheapest point as
+        # a survival fallback; a linear scan has no affordable candidates.
+        return []
+    best_perf = max(
+        (p.perf for p in points if p.power <= budget * (1 + 1e-12) + tol),
+        default=0.0,
+    )
+    gap = best_perf - chosen.perf
+    if gap > tol + REL_TOL * abs(best_perf):
+        return [
+            Violation(
+                "discrete_search",
+                f"budget {budget:.6g} W: frontier picked perf "
+                f"{chosen.perf:.9g} (n={chosen.n}, f={chosen.f:.4g}) but a "
+                f"linear scan of the table finds {best_perf:.9g}",
+                equation="Alg. 2",
+                magnitude=gap,
+            )
+        ]
+    return []
+
+
+def check_continuous_agreement(
+    frontier: OperatingFrontier,
+    points: Sequence[OperatingPoint],
+    perf_model: PerformanceModel,
+    power_model: PowerModel,
+    budget: float,
+    *,
+    n_max: "float | int" = math.inf,
+    tol: float = 1e-9,
+) -> list[Violation]:
+    """Discrete ``(n, f, v)`` choice vs the Eq. 18 continuous optimum.
+
+    Upper bound: the discrete table's power includes stand-by floors the
+    continuous relaxation does not charge, so for any budget the chosen
+    discrete point cannot outperform the continuous optimum.  Lower
+    bound: rounding the continuous ``(n*, f*)`` down to the nearest table
+    configuration gives a concrete candidate; if it fits the budget, the
+    frontier's pick must be at least that good.
+    """
+    out: list[Violation] = []
+    chosen = frontier.best_within_power(budget)
+    if chosen.power > budget * (1 + 1e-12) + tol:
+        return out  # survival fallback below the frontier's min power
+    cont = optimal_parameters(
+        budget, perf_model, power_model, n_max=n_max, f_min=0.0
+    )
+    if chosen.perf > cont.perf * (1 + REL_TOL) + tol:
+        out.append(
+            Violation(
+                "continuous_upper_bound",
+                f"budget {budget:.6g} W: discrete point (n={chosen.n}, "
+                f"f={chosen.f:.6g}, v={chosen.v:.4g}) achieves perf "
+                f"{chosen.perf:.9g} > Eq. 18 continuous optimum "
+                f"{cont.perf:.9g} (regime {cont.regime})",
+                equation="Eq. 18",
+                magnitude=chosen.perf - cont.perf,
+            )
+        )
+    # quantized floor: the continuous optimum rounded down to table coords
+    n_floor = min(int(math.floor(cont.n)), int(n_max) if math.isfinite(n_max) else 10**9)
+    if n_floor >= 1:
+        candidates = [
+            p
+            for p in points
+            if p.n == n_floor
+            and p.f <= cont.f * (1 + 1e-12)
+            and p.power <= budget * (1 + 1e-12) + tol
+        ]
+        if candidates:
+            floor_point = max(candidates, key=lambda p: (p.f, p.perf))
+            gap = floor_point.perf - chosen.perf
+            if gap > tol + REL_TOL * abs(floor_point.perf):
+                out.append(
+                    Violation(
+                        "continuous_lower_bound",
+                        f"budget {budget:.6g} W: quantized continuous optimum "
+                        f"(n={floor_point.n}, f={floor_point.f:.6g}) fits the "
+                        f"budget with perf {floor_point.perf:.9g} but the "
+                        f"frontier picked only {chosen.perf:.9g}",
+                        equation="Eq. 18",
+                        magnitude=gap,
+                    )
+                )
+    return out
+
+
+def brute_force_feasible(
+    charging: Schedule,
+    desired: Schedule,
+    spec: BatterySpec,
+    *,
+    initial_level: "float | None" = None,
+    usage_floor: float = 0.0,
+    n_levels: int = 4,
+    max_combos: int = 20000,
+) -> "Schedule | None":
+    """Search for *any* balanced usage plan inside the battery window.
+
+    Enumerates per-slot level combinations from a small ladder, rescales
+    each shape to exact energy balance (``scale = ∫c / ∫shape``), and
+    returns the first shape whose trajectory stays inside
+    ``[c_min, c_max]`` — an existence witness that is exact up to float
+    rounding, with no approximation in the feasibility test itself.
+
+    Returns ``None`` when no enumerated shape is feasible.  Intended for
+    small grids (``n_slots * n_levels`` combinations are capped at
+    ``max_combos``); raises ``ValueError`` beyond the cap.
+    """
+    supply = charging.total_energy()
+    initial = spec.initial if initial_level is None else float(initial_level)
+    n_slots = charging.grid.n_slots
+    if supply <= 0:
+        flat = Schedule.constant(charging.grid, usage_floor)
+        traj = battery_trajectory(charging, flat, initial)
+        if check_trajectory(traj, spec.c_min, spec.c_max, tol=1e-9).feasible:
+            return flat
+        return None
+    if n_levels**n_slots > max_combos:
+        raise ValueError(
+            f"{n_levels}^{n_slots} shapes exceeds max_combos={max_combos}"
+        )
+    hi = 1.5 * max(
+        float(np.max(desired.values)),
+        float(np.max(charging.values)),
+        supply / charging.grid.period,
+        usage_floor,
+        1e-9,
+    )
+    ladder = np.linspace(max(usage_floor, 0.0), hi, n_levels)
+    for combo in itertools.product(range(n_levels), repeat=n_slots):
+        shape = ladder[list(combo)]
+        shape_energy = float(np.sum(shape)) * charging.grid.tau
+        if shape_energy <= 0:
+            continue
+        candidate = Schedule(charging.grid, shape * (supply / shape_energy))
+        if usage_floor > 0 and float(np.min(candidate.values)) < usage_floor - 1e-12:
+            continue
+        traj = battery_trajectory(charging, candidate, initial)
+        if check_trajectory(traj, spec.c_min, spec.c_max, tol=1e-9).feasible:
+            return candidate
+    return None
+
+
+def check_allocator_vs_brute_force(
+    charging: Schedule,
+    desired: Schedule,
+    spec: BatterySpec,
+    *,
+    initial_level: "float | None" = None,
+    usage_floor: float = 0.0,
+    n_levels: int = 4,
+) -> list[Violation]:
+    """Algorithm 1 must not report infeasible when a witness plan exists.
+
+    The converse (allocator feasible, brute force finds nothing) is not a
+    violation: the enumeration is a coarse ladder and the allocator's
+    continuous reshaping explores shapes the ladder cannot express.
+    """
+    result = allocate(
+        charging,
+        desired,
+        spec,
+        initial_level=initial_level,
+        usage_floor=usage_floor,
+    )
+    if result.feasible:
+        return []
+    witness = brute_force_feasible(
+        charging,
+        desired,
+        spec,
+        initial_level=initial_level,
+        usage_floor=usage_floor,
+        n_levels=n_levels,
+    )
+    if witness is None:
+        return []
+    return [
+        Violation(
+            "allocator_completeness",
+            "allocator reported infeasible but brute force found a balanced "
+            f"in-window plan (peak {float(np.max(witness.values)):.6g} W, "
+            f"supply {charging.total_energy():.6g} J)",
+            equation="Alg. 1",
+        )
+    ]

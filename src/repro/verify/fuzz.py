@@ -1,0 +1,572 @@
+"""Seeded, replayable fuzzers for the core, the engine, and the protocol.
+
+Every fuzzer derives each case from ``random.Random(f"{seed}:{kind}:{i}")``,
+so a failing case replays exactly from its seed and index — the violation
+messages carry the case label for that purpose (docs/VERIFY.md describes
+the workflow).
+
+* :func:`fuzz_scenarios` — random grids, charging/event schedules, weight
+  functions, battery windows, and ``(perf, power, VF)`` models, each run
+  through the oracle plus the differential checks.
+* :func:`fuzz_engine` — random schedule/cancel/step/run_until op sequences
+  against :class:`~repro.verify.runtime.CheckedSimulationEngine`, with an
+  external expectation model (every live event due by the horizon fires
+  exactly once, in ``(time, seq)`` order; cancelled events never fire).
+* :func:`fuzz_protocol` — malformed/truncated/oversized/hostile NDJSON
+  frames against a live plan server or fleet gateway address; every frame
+  must produce a well-formed response (or a documented connection close),
+  and the endpoint must still answer a clean ``ping`` afterwards.
+* :func:`corrupt_payload` — seeded single-fault mutations of a valid plan
+  payload, used by ``repro verify`` to prove the oracle actually rejects
+  corrupted plans.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import socket
+from typing import Mapping
+
+import numpy as np
+
+from ..core.allocation import allocate
+from ..core.pareto import OperatingFrontier, build_operating_points
+from ..core.wpuf import desired_usage
+from ..models.battery import BatterySpec
+from ..models.performance import PerformanceModel
+from ..models.power import PowerModel
+from ..models.voltage import FixedVoltageVFMap, LinearVFMap
+from ..service.protocol import ERROR_CODES, MAX_LINE_BYTES, parse_address
+from ..util.schedule import Schedule
+from ..util.timegrid import TimeGrid
+from .differential import (
+    check_allocator_vs_brute_force,
+    check_continuous_agreement,
+    check_discrete_search,
+)
+from .oracle import (
+    CheckSession,
+    VerificationReport,
+    Violation,
+    check_allocation_result,
+    check_pareto_frontier,
+    check_power_consistency,
+    check_wpuf_normalization,
+)
+from .runtime import CheckedSimulationEngine
+
+__all__ = [
+    "fuzz_scenarios",
+    "fuzz_engine",
+    "fuzz_protocol",
+    "corrupt_payload",
+]
+
+
+# ----------------------------------------------------------------------
+# scenario fuzzing
+# ----------------------------------------------------------------------
+def _random_charging(rng: random.Random, grid: TimeGrid) -> Schedule:
+    n = grid.n_slots
+    peak = rng.uniform(0.5, 5.0)
+    kind = rng.randrange(4)
+    if kind == 0:  # square wave: sun for a contiguous stretch
+        on = rng.randint(1, n)
+        start = rng.randrange(n)
+        values = [peak if (start <= k < start + on or k < start + on - n) else 0.0 for k in range(n)]
+    elif kind == 1:  # staircase
+        steps = sorted(rng.uniform(0, peak) for _ in range(n))
+        if rng.random() < 0.5:
+            steps.reverse()
+        values = steps
+    elif kind == 2:  # independent uniform
+        values = [rng.uniform(0, peak) for _ in range(n)]
+    else:  # bursty: mostly dark with a few spikes
+        values = [peak * (rng.random() < 0.25) * rng.uniform(0.5, 1.0) for _ in range(n)]
+    return Schedule(grid, values)
+
+
+def _random_events(rng: random.Random, grid: TimeGrid, supply: float) -> Schedule:
+    n = grid.n_slots
+    values = [rng.uniform(0.0, 1.0) * (rng.random() < 0.85) for _ in range(n)]
+    if supply > 0 and max(values) == 0.0:
+        values[rng.randrange(n)] = rng.uniform(0.1, 1.0)
+    return Schedule(grid, values)
+
+
+def _random_weight(rng: random.Random, grid: TimeGrid) -> Schedule:
+    kind = rng.randrange(3)
+    if kind == 0:
+        return Schedule.constant(grid, 1.0)
+    if kind == 1:
+        return Schedule.constant(grid, rng.uniform(0.1, 3.0))
+    return Schedule(grid, [rng.uniform(0.1, 3.0) for _ in range(grid.n_slots)])
+
+
+def _random_models(rng: random.Random):
+    """A random ``(n_workers, frequencies, perf, power, count_standby)``."""
+    n_workers = rng.randint(2, 8)
+    if rng.random() < 0.5:  # the paper's fixed-voltage board
+        f_max = rng.uniform(50e6, 200e6)
+        vf = FixedVoltageVFMap(rng.uniform(1.0, 3.3), f_max)
+        k = rng.randint(2, 4)
+        fracs = sorted({rng.uniform(0.15, 1.0) for _ in range(k)} | {1.0})
+        frequencies = [f_max * fr for fr in fracs]
+        scale_voltage = False
+    else:  # first-order DVFS board.  Eq. 18's regime-3 closed form assumes
+        # f ∝ v (zero threshold voltage); with v_th > 0 the Eq. 17 crossover
+        # shifts and the closed form is legitimately suboptimal, so the
+        # differential check would flag a model mismatch, not a bug.
+        v_min = rng.uniform(0.6, 1.0)
+        vf = LinearVFMap(
+            v_min,
+            v_min + rng.uniform(0.5, 1.5),
+            slope=rng.uniform(50e6, 150e6),
+            v_threshold=0.0,
+        )
+        k = rng.randint(2, 5)
+        volts = sorted(rng.uniform(vf.v_min, vf.v_max) for _ in range(k))
+        frequencies = sorted({vf.g(v) for v in volts if vf.g(v) > 0})
+        if rng.random() < 0.3:  # one below-floor frequency (regime 1 fodder)
+            frequencies.insert(0, vf.f_floor * rng.uniform(0.3, 0.9))
+        scale_voltage = True
+    f_top = max(frequencies)
+    v_top = vf.optimal_voltage(f_top)
+    target_top_w = rng.uniform(0.05, 0.5)
+    c2 = target_top_w / (f_top * v_top**2)
+    # Eq. 18's closed form is derived without a per-processor static floor;
+    # with voltage scaling a floor shifts the regime-3 crossover, so only
+    # fixed-voltage tables get one (where frequency-first stays optimal).
+    active_floor = 0.0 if scale_voltage else rng.uniform(0.0, 0.2) * target_top_w
+    count_standby = rng.random() < 0.5
+    power = PowerModel(
+        c2,
+        standby_power=rng.uniform(0.0, 0.1) * target_top_w if count_standby else 0.0,
+        active_floor=active_floor,
+    )
+    perf = PerformanceModel(
+        t_total=1.0,
+        t_serial=rng.uniform(0.02, 0.5),
+        f_ref=f_top,
+        vf_map=vf,
+        c1=1.0,
+    )
+    return n_workers, frequencies, perf, power, count_standby
+
+
+def fuzz_scenarios(seed: int = 0, cases: int = 100) -> VerificationReport:
+    """Random scenarios through the oracle + differential checks."""
+    session = CheckSession()
+    for i in range(cases):
+        rng = random.Random(f"{seed}:scenario:{i}")
+        session.push_context(f"scenario case {seed}:{i}")
+        try:
+            _fuzz_one_scenario(rng, session)
+        finally:
+            session.pop_context()
+    return session.report()
+
+
+def _fuzz_one_scenario(rng: random.Random, session: CheckSession) -> None:
+    n_slots = rng.randint(4, 12)
+    tau = rng.uniform(1.0, 6.0)
+    grid = TimeGrid(n_slots * tau, tau)
+    charging = _random_charging(rng, grid)
+    supply = charging.total_energy()
+    events = _random_events(rng, grid, supply)
+    weight = _random_weight(rng, grid)
+    c_max = rng.uniform(0.2, 2.0) * max(supply, 1.0)
+    c_min = rng.uniform(0.0, 0.3) * c_max
+    initial = rng.uniform(c_min, c_max) if rng.random() < 0.5 else None
+    spec = BatterySpec(c_max=c_max, c_min=c_min, initial=initial)
+
+    # Eqs. 7–8: WPUF normalization
+    u_new = desired_usage(events, weight, charging)
+    session.run(check_wpuf_normalization, events, weight, charging, u_new)
+
+    # Algorithm 1: reshaping allocator
+    result = allocate(charging, u_new, spec)
+    session.run(check_allocation_result, charging, result, spec)
+    if n_slots <= 6 and rng.random() < 0.4:
+        session.run(
+            check_allocator_vs_brute_force, charging, u_new, spec, n_levels=4
+        )
+
+    # Eq. 6 / Algorithm 2 / Eq. 18: table, frontier, and both solvers
+    n_workers, frequencies, perf, power, count_standby = _random_models(rng)
+    points = build_operating_points(
+        n_workers, frequencies, perf, power, count_standby=count_standby
+    )
+    frontier = OperatingFrontier.build(
+        n_workers, frequencies, perf, power, count_standby=count_standby
+    )
+    session.run(check_pareto_frontier, frontier)
+    session.run(
+        check_power_consistency,
+        frontier.points,
+        power,
+        n_total=n_workers if count_standby else None,
+    )
+    for _ in range(6):
+        budget = rng.uniform(0.0, 1.3 * frontier.max_power)
+        session.run(check_discrete_search, frontier, points, budget)
+        session.run(
+            check_continuous_agreement,
+            frontier,
+            points,
+            perf,
+            power,
+            budget,
+            n_max=n_workers,
+        )
+
+
+# ----------------------------------------------------------------------
+# engine fuzzing
+# ----------------------------------------------------------------------
+def fuzz_engine(seed: int = 0, cases: int = 50) -> VerificationReport:
+    """Random op sequences against the self-checking simulation engine."""
+    session = CheckSession()
+    for i in range(cases):
+        rng = random.Random(f"{seed}:engine:{i}")
+        session.push_context(f"engine case {seed}:{i}")
+        try:
+            _fuzz_one_engine(rng, session)
+        finally:
+            session.pop_context()
+    return session.report()
+
+
+def _fuzz_one_engine(rng: random.Random, session: CheckSession) -> None:
+    engine = CheckedSimulationEngine()
+    handles = []  # every SimEvent we scheduled
+    cancelled = set()  # seqs cancel-requested while still pending
+    done = set()  # seqs whose callback ran
+    limit = rng.randint(8, 60)
+    total = [0]
+
+    def schedule(time: float, depth: int) -> None:
+        if total[0] >= limit:
+            return
+        total[0] += 1
+        box = {}
+
+        def callback() -> None:
+            event = box["event"]
+            done.add(event.seq)
+            if depth < 2 and rng.random() < 0.3:
+                schedule(engine.now + rng.uniform(0.0, 4.0), depth + 1)
+
+        if rng.random() < 0.7:
+            event = engine.at(time, callback)
+        else:
+            event = engine.after(max(0.0, time - engine.now), callback)
+        box["event"] = event
+        handles.append(event)
+
+    for _ in range(rng.randint(3, 15)):
+        schedule(rng.uniform(0.0, 20.0), 0)
+    for _ in range(rng.randint(0, 12)):
+        roll = rng.random()
+        if roll < 0.35 and handles:
+            event = rng.choice(handles)
+            if event.seq not in done:
+                cancelled.add(event.seq)
+            engine.cancel(event)
+        elif roll < 0.65:
+            engine.step()
+        else:
+            schedule(engine.now + rng.uniform(0.0, 20.0), 0)
+
+    horizon = None
+    if rng.random() < 0.5:
+        horizon = engine.now + rng.uniform(0.0, 30.0)
+        engine.run_until(horizon)
+    else:
+        engine.run()
+
+    violations = list(engine.violations)
+    for event in handles:
+        ran = event.seq in done
+        due = horizon is None or event.time <= horizon + 1e-12
+        if event.seq in cancelled and ran:
+            violations.append(
+                Violation(
+                    "engine_cancelled_ran",
+                    f"event seq={event.seq} at t={event.time:.6g} executed "
+                    "after being cancelled",
+                    slot=event.seq,
+                )
+            )
+        elif event.seq not in cancelled and due and not ran:
+            violations.append(
+                Violation(
+                    "engine_lost_event",
+                    f"live event seq={event.seq} at t={event.time:.6g} never "
+                    f"executed (horizon {horizon})",
+                    slot=event.seq,
+                )
+            )
+        elif not due and ran:
+            violations.append(
+                Violation(
+                    "engine_deadline",
+                    f"event seq={event.seq} at t={event.time:.6g} executed "
+                    f"past run_until({horizon:.6g})",
+                    slot=event.seq,
+                    magnitude=event.time - horizon,
+                )
+            )
+    session.add(violations)
+
+
+# ----------------------------------------------------------------------
+# protocol fuzzing
+# ----------------------------------------------------------------------
+def _hostile_frames(rng: random.Random) -> "tuple[bytes, str, str]":
+    """One fuzz frame: ``(payload_bytes, expectation, label)``.
+
+    ``expectation`` is ``"error"`` (a well-formed error response with a
+    registered code), ``"ok"`` (a well-formed success), or ``"any"``
+    (any well-formed response — used where the outcome legitimately
+    depends on server state).
+    """
+    choice = rng.randrange(12)
+    if choice == 0:
+        n = rng.randint(1, 64)
+        body = bytes(rng.randrange(1, 256) for _ in range(n))
+        return body + b"\n", "error", "garbage bytes"
+    if choice == 1:
+        return b'{"op": "plan", "scenario": "scena\n', "error", "truncated JSON"
+    if choice == 2:
+        doc = rng.choice([b"[1,2,3]", b'"plan"', b"42", b"null", b"true"])
+        return doc + b"\n", "error", "non-object JSON"
+    if choice == 3:
+        token = rng.choice([b"NaN", b"Infinity", b"-Infinity"])
+        return b'{"op": "plan", "supply_factor": ' + token + b"}\n", "error", "non-finite token"
+    if choice == 4:
+        return (
+            json.dumps({"op": rng.choice(["plam", "", "PLAN", "exec", 7])}).encode()
+            + b"\n",
+            "error",
+            "unknown op",
+        )
+    if choice == 5:
+        bad = rng.choice(
+            [
+                {"op": "plan", "scenario": 7},
+                {"op": "plan", "scenario": "scenario1", "n_periods": "two"},
+                {"op": "plan", "scenario": "scenario1", "supply_factor": -1.0},
+                {"op": "plan", "scenario": "scenario1", "n_periods": 0},
+            ]
+        )
+        return json.dumps(bad).encode() + b"\n", "error", "wrong field types"
+    if choice == 6:
+        name = "no-such-scenario-" + str(rng.randrange(10**6))
+        return (
+            json.dumps({"op": "plan", "scenario": name}).encode() + b"\n",
+            "error",
+            "unknown scenario",
+        )
+    if choice == 7:
+        filler = "x" * (MAX_LINE_BYTES + rng.randint(1, 4096))
+        return (
+            json.dumps({"op": "ping", "pad": filler}).encode() + b"\n",
+            "error",
+            "oversized frame",
+        )
+    if choice == 8:
+        return b"\n", "error", "empty line"
+    if choice == 9:
+        return b"\x00\x00{\x00}\n", "error", "NUL bytes"
+    if choice == 10:
+        depth = rng.randint(1500, 4000)
+        return (
+            b'{"op": ' + b"[" * depth + b"]" * depth + b"}\n",
+            "error",
+            f"nesting depth {depth}",
+        )
+    return json.dumps({"op": "ping", "id": rng.randrange(10**9)}).encode() + b"\n", "ok", "valid ping"
+
+
+def _connect(address: str, timeout_s: float) -> socket.socket:
+    parsed = parse_address(address)
+    if parsed[0] == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout_s)
+        sock.connect(parsed[1])
+    else:
+        sock = socket.create_connection((parsed[1], parsed[2]), timeout=timeout_s)
+        sock.settimeout(timeout_s)
+    return sock
+
+
+def _read_response(fh) -> "dict | None":
+    line = fh.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    return json.loads(line)
+
+
+def fuzz_protocol(
+    address: str,
+    seed: int = 0,
+    cases: int = 50,
+    *,
+    timeout_s: float = 10.0,
+) -> VerificationReport:
+    """Hostile NDJSON frames against a live plan-serving endpoint.
+
+    Each case opens a fresh connection, sends one fuzzed frame, and
+    demands a well-formed response: a JSON object with ``ok`` and, on
+    failure, an ``error.code`` drawn from :data:`ERROR_CODES`.  A
+    timeout, a non-JSON reply, or an unregistered code is a violation —
+    a dropped connection is only tolerated for frames the server cannot
+    parse a request id out of.  A final clean ``ping`` proves the
+    endpoint survived the barrage.
+    """
+    session = CheckSession()
+    for i in range(cases):
+        rng = random.Random(f"{seed}:protocol:{i}")
+        frame, expectation, label = _hostile_frames(rng)
+        session.push_context(f"protocol case {seed}:{i} ({label})")
+        try:
+            session.add(
+                _fuzz_one_frame(address, frame, expectation, timeout_s)
+            )
+        finally:
+            session.pop_context()
+    session.push_context("protocol liveness")
+    try:
+        session.add(_fuzz_one_frame(address, b'{"op":"ping","id":0}\n', "ok", timeout_s))
+    finally:
+        session.pop_context()
+    return session.report()
+
+
+def _fuzz_one_frame(
+    address: str, frame: bytes, expectation: str, timeout_s: float
+) -> list[Violation]:
+    try:
+        sock = _connect(address, timeout_s)
+    except OSError as exc:
+        return [
+            Violation(
+                "protocol_connect",
+                f"could not connect to {address}: {exc}",
+            )
+        ]
+    try:
+        sock.sendall(frame)
+        fh = sock.makefile("rb")
+        try:
+            response = _read_response(fh)
+        except socket.timeout:
+            return [
+                Violation(
+                    "protocol_timeout",
+                    f"no response within {timeout_s}s to a "
+                    f"{len(frame)}-byte frame",
+                )
+            ]
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return [
+                Violation(
+                    "protocol_malformed_response",
+                    f"response is not a JSON line: {exc}",
+                )
+            ]
+    except OSError as exc:
+        return [
+            Violation(
+                "protocol_transport",
+                f"transport error mid-exchange: {exc}",
+            )
+        ]
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    if response is None:
+        return [
+            Violation(
+                "protocol_closed",
+                "server closed the connection without responding",
+            )
+        ]
+    out: list[Violation] = []
+    if not isinstance(response, dict) or "ok" not in response:
+        return [
+            Violation(
+                "protocol_malformed_response",
+                f"response lacks the ok envelope: {response!r}",
+            )
+        ]
+    if expectation == "ok" and response.get("ok") is not True:
+        out.append(
+            Violation(
+                "protocol_wrong_verdict",
+                f"valid request rejected: {response!r}",
+            )
+        )
+    if expectation == "error":
+        if response.get("ok") is not False:
+            out.append(
+                Violation(
+                    "protocol_wrong_verdict",
+                    f"malformed request accepted: {response!r}",
+                )
+            )
+        else:
+            code = (response.get("error") or {}).get("code")
+            if code not in ERROR_CODES:
+                out.append(
+                    Violation(
+                        "protocol_unknown_error_code",
+                        f"error code {code!r} not in the registered set",
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# payload corruption (seeded faults for the oracle's own acceptance test)
+# ----------------------------------------------------------------------
+def corrupt_payload(payload: Mapping, rng: random.Random) -> "tuple[dict, str]":
+    """One seeded single-fault mutation of a valid plan payload.
+
+    Returns ``(mutated_copy, description)``.  Used by ``repro verify`` to
+    prove the oracle catches each fault class (a corruption the oracle
+    misses is itself reported as a violation).
+    """
+    mutated = dict(payload)
+    fault = rng.randrange(6)
+    if fault == 0:
+        mutated["wasted"] = -abs(float(mutated.get("wasted", 0.0))) - 1.0
+        return mutated, "negative wasted energy"
+    if fault == 1:
+        digest = str(mutated.get("digest", ""))
+        flipped = ("0" if digest[:1] != "0" else "1") + digest[1:]
+        mutated["digest"] = flipped
+        return mutated, "corrupted content digest"
+    if fault == 2:
+        allocated = mutated.get("allocated_power")
+        if isinstance(allocated, list) and allocated:
+            allocated = list(allocated)
+            k = rng.randrange(len(allocated))
+            allocated[k] = 1e9
+            mutated["allocated_power"] = allocated
+            return mutated, f"allocated_power[{k}] inflated past the frontier"
+        mutated["utilization"] = math.inf
+        return mutated, "non-finite utilization"
+    if fault == 3:
+        mutated["undersupplied"] = float("nan")
+        return mutated, "NaN undersupplied energy"
+    if fault == 4:
+        mutated["n_periods"] = "2"
+        return mutated, "n_periods retyped to a string"
+    mutated["supply_factor"] = float(mutated.get("supply_factor", 1.0)) + 0.125
+    return mutated, "supply_factor drifted from the digested request"

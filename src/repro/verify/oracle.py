@@ -1,0 +1,715 @@
+"""Pure invariant checks over finished plans and runs (the paper's contracts).
+
+Every check is a pure function from finished artifacts to a list of
+:class:`Violation` records — no I/O, no randomness, no mutation — so the
+same oracle can run inside tests, the ``repro verify`` CLI, and the plan
+server's opt-in check mode (:mod:`repro.verify.runtime`).
+
+Checks and the paper equations they enforce:
+
+=========================  =============================================
+:func:`check_battery_bounds`     Eq. 10 — trajectory within ``[C_min, C_max]``
+:func:`check_energy_balance`     Eq. 8 — ``∫u_new = ∫c`` over one period
+:func:`check_wpuf_normalization` Eqs. 7–8 — ``u_new`` is a non-negative,
+                                 order-preserving rescale of ``u·w``
+:func:`check_power_consistency`  Eq. 6 — every point's power is
+                                 ``c2·n·f·v²`` plus the configured floors
+:func:`check_pareto_frontier`    Algorithm 2 lines 3–5 — frontier sorted,
+                                 strictly improving, dominance-free
+:func:`check_allocation_result`  Algorithm 1 — trajectory/flag consistency
+:func:`check_energy_run`         Table 1 accounting — conservation, bounds
+:func:`check_plan_payload`       service layer — field shape + digest
+=========================  =============================================
+
+Violations carry the offending slot and a magnitude (how far past the
+bound) so callers can log, count, or fail hard on them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..analysis.energy import EnergyRunResult
+from ..core.allocation import AllocationResult
+from ..core.pareto import OperatingFrontier, OperatingPoint
+from ..core.surplus import battery_trajectory, check_trajectory
+from ..core.wpuf import weighted_power_usage
+from ..models.battery import BatterySpec
+from ..models.power import PowerModel
+from ..util.schedule import Schedule
+
+__all__ = [
+    "Violation",
+    "VerificationReport",
+    "CheckSession",
+    "check_battery_bounds",
+    "check_energy_balance",
+    "check_wpuf_normalization",
+    "check_power_consistency",
+    "check_pareto_frontier",
+    "check_allocation_result",
+    "check_energy_run",
+    "check_plan_payload",
+    "verify_scenario",
+]
+
+#: Default absolute tolerance for energy/power comparisons (J or W).
+DEFAULT_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, tied to the paper equation it violates."""
+
+    invariant: str  #: machine-readable key, e.g. ``"battery_bounds"``
+    message: str  #: human-readable description with the numbers
+    equation: "str | None" = None  #: paper reference, e.g. ``"Eq. 10"``
+    slot: "int | None" = None  #: offending slot index, when slot-local
+    magnitude: float = 0.0  #: how far past the bound (J, W, or ratio)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" slot={self.slot}" if self.slot is not None else ""
+        eq = f" [{self.equation}]" if self.equation else ""
+        return f"{self.invariant}{eq}{where}: {self.message}"
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of a batch of checks: counts plus every violation found."""
+
+    checks_run: int
+    violations: tuple[Violation, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __add__(self, other: "VerificationReport") -> "VerificationReport":
+        return VerificationReport(
+            self.checks_run + other.checks_run,
+            self.violations + other.violations,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (what ``repro verify --json`` writes)."""
+        return {
+            "ok": self.ok,
+            "checks_run": self.checks_run,
+            "n_violations": len(self.violations),
+            "violations": [asdict(v) for v in self.violations],
+        }
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"{self.checks_run} checks: {verdict}"
+
+
+class CheckSession:
+    """Accumulates check calls into one :class:`VerificationReport`.
+
+    ``context`` strings pushed by callers are prefixed onto violation
+    messages so a fuzz case or scenario name survives aggregation.
+    """
+
+    def __init__(self) -> None:
+        self.checks_run = 0
+        self.violations: list[Violation] = []
+        self._context: list[str] = []
+
+    def push_context(self, label: str) -> None:
+        self._context.append(label)
+
+    def pop_context(self) -> None:
+        self._context.pop()
+
+    def add(self, violations: Iterable[Violation]) -> list[Violation]:
+        """Record pre-computed violations (counted as one check)."""
+        found = list(violations)
+        self.checks_run += 1
+        prefix = " / ".join(self._context)
+        if prefix:
+            found = [
+                Violation(
+                    v.invariant,
+                    f"[{prefix}] {v.message}",
+                    v.equation,
+                    v.slot,
+                    v.magnitude,
+                )
+                for v in found
+            ]
+        self.violations.extend(found)
+        return found
+
+    def run(self, check: Callable[..., list[Violation]], *args, **kwargs) -> list[Violation]:
+        """Invoke one check function and fold its violations in."""
+        return self.add(check(*args, **kwargs))
+
+    def report(self) -> VerificationReport:
+        return VerificationReport(self.checks_run, tuple(self.violations))
+
+
+# ----------------------------------------------------------------------
+# core invariants (Eqs. 6, 8, 10)
+# ----------------------------------------------------------------------
+def check_battery_bounds(
+    trajectory: "np.ndarray | Sequence[float]",
+    spec: BatterySpec,
+    *,
+    tol: float = DEFAULT_TOL,
+) -> list[Violation]:
+    """Eq. 10: every trajectory sample within ``[C_min − tol, C_max + tol]``."""
+    traj = np.asarray(trajectory, dtype=float)
+    out: list[Violation] = []
+    for k, level in enumerate(traj):
+        if not math.isfinite(level):
+            out.append(
+                Violation(
+                    "battery_bounds",
+                    f"non-finite battery level {level!r}",
+                    equation="Eq. 10",
+                    slot=k,
+                    magnitude=math.inf,
+                )
+            )
+        elif level < spec.c_min - tol:
+            out.append(
+                Violation(
+                    "battery_bounds",
+                    f"level {level:.6g} J below C_min={spec.c_min:.6g} J",
+                    equation="Eq. 10",
+                    slot=k,
+                    magnitude=spec.c_min - level,
+                )
+            )
+        elif level > spec.c_max + tol:
+            out.append(
+                Violation(
+                    "battery_bounds",
+                    f"level {level:.6g} J above C_max={spec.c_max:.6g} J",
+                    equation="Eq. 10",
+                    slot=k,
+                    magnitude=level - spec.c_max,
+                )
+            )
+    return out
+
+
+def check_energy_balance(
+    charging: Schedule,
+    usage: Schedule,
+    *,
+    tol: float = DEFAULT_TOL,
+) -> list[Violation]:
+    """Eq. 8: the plan's period energy equals the supplied period energy."""
+    supply = charging.total_energy()
+    demand = usage.total_energy()
+    bound = max(tol, tol * abs(supply))
+    gap = demand - supply
+    if abs(gap) > bound:
+        return [
+            Violation(
+                "energy_balance",
+                f"plan draws {demand:.6g} J but the source supplies "
+                f"{supply:.6g} J over the period (gap {gap:+.6g} J)",
+                equation="Eq. 8",
+                magnitude=abs(gap),
+            )
+        ]
+    return []
+
+
+def check_wpuf_normalization(
+    event_rate: Schedule,
+    weight: Schedule,
+    charging: Schedule,
+    usage: Schedule,
+    *,
+    tol: float = 1e-9,
+) -> list[Violation]:
+    """Eqs. 7–8: ``u_new`` must be the WPUF scaled by ``∫c/∫(u·w)``.
+
+    Three sub-invariants: non-negativity, pointwise proportionality to
+    ``u(t)·w(t)``, and order preservation (the normalization is monotone —
+    a slot that demanded more than another still draws more after it).
+    """
+    out: list[Violation] = []
+    wpuf = weighted_power_usage(event_rate, weight)
+    u = usage.values
+    for k, value in enumerate(u):
+        if value < -tol:
+            out.append(
+                Violation(
+                    "wpuf_nonnegative",
+                    f"normalized usage {value:.6g} W is negative",
+                    equation="Eq. 8",
+                    slot=k,
+                    magnitude=-value,
+                )
+            )
+    shape_energy = wpuf.total_energy()
+    supply = charging.total_energy()
+    if shape_energy > 0:
+        scale = supply / shape_energy
+        expected = wpuf.values * scale
+        ref = max(1.0, float(np.max(np.abs(expected))))
+        for k in range(u.size):
+            gap = abs(u[k] - expected[k])
+            if gap > tol * ref:
+                out.append(
+                    Violation(
+                        "wpuf_normalization",
+                        f"usage {u[k]:.6g} W != WPUF·(∫c/∫wu) = "
+                        f"{expected[k]:.6g} W",
+                        equation="Eq. 8",
+                        slot=k,
+                        magnitude=gap,
+                    )
+                )
+        # Order preservation follows from proportionality with scale >= 0,
+        # but check it independently: it is the property downstream slot
+        # decisions rely on, and it localizes the break to a slot pair.
+        order = np.argsort(wpuf.values, kind="stable")
+        scaled = u[order]
+        for i in range(1, scaled.size):
+            if scaled[i] < scaled[i - 1] - tol * ref:
+                out.append(
+                    Violation(
+                        "wpuf_monotone",
+                        "normalization reordered demand: slot "
+                        f"{int(order[i])} (WPUF {wpuf.values[order[i]]:.6g}) "
+                        f"draws {scaled[i]:.6g} W < slot {int(order[i - 1])} "
+                        f"draws {scaled[i - 1]:.6g} W",
+                        equation="Eq. 8",
+                        slot=int(order[i]),
+                        magnitude=float(scaled[i - 1] - scaled[i]),
+                    )
+                )
+    return out
+
+
+def check_power_consistency(
+    points: "Iterable[OperatingPoint]",
+    power_model: PowerModel,
+    *,
+    n_total: "int | None" = None,
+    baseline_power: float = 0.0,
+    tol: float = 1e-9,
+) -> list[Violation]:
+    """Eq. 6: each point's power is ``c2·n·f·v²`` plus configured floors.
+
+    ``n_total`` is the pool size when stand-by floors are counted (as
+    :func:`repro.core.pareto.build_operating_points` does with
+    ``count_standby=True``); ``baseline_power`` covers a constant shift
+    such as ``pama_frontier(controller_power=...)``.
+    """
+    out: list[Violation] = []
+    for index, point in enumerate(points):
+        total = n_total if n_total is not None else max(point.n, 0)
+        expected = (
+            power_model.system_power(point.n, point.f, point.v, n_total=total)
+            + baseline_power
+        )
+        ref = max(1.0, abs(expected))
+        gap = abs(point.power - expected)
+        if gap > tol * ref:
+            out.append(
+                Violation(
+                    "power_consistency",
+                    f"point (n={point.n}, f={point.f:.6g}, v={point.v:.6g}) "
+                    f"claims {point.power:.9g} W but Eq. 6 gives "
+                    f"{expected:.9g} W",
+                    equation="Eq. 6",
+                    slot=index,
+                    magnitude=gap,
+                )
+            )
+    return out
+
+
+def check_pareto_frontier(
+    frontier: OperatingFrontier,
+    *,
+    tol: float = 1e-12,
+) -> list[Violation]:
+    """Algorithm 2 lines 3–5: sorted, strictly improving, dominance-free."""
+    out: list[Violation] = []
+    points = frontier.points
+    for i in range(1, len(points)):
+        a, b = points[i - 1], points[i]
+        if b.power <= a.power + tol:
+            out.append(
+                Violation(
+                    "pareto_sorted",
+                    f"frontier power not strictly increasing at index {i}: "
+                    f"{a.power:.9g} -> {b.power:.9g} W",
+                    equation="Alg. 2",
+                    slot=i,
+                    magnitude=a.power - b.power,
+                )
+            )
+        if b.perf <= a.perf + tol:
+            out.append(
+                Violation(
+                    "pareto_improving",
+                    f"frontier perf not strictly increasing at index {i}: "
+                    f"{a.perf:.9g} -> {b.perf:.9g}",
+                    equation="Alg. 2",
+                    slot=i,
+                    magnitude=a.perf - b.perf,
+                )
+            )
+    for i, a in enumerate(points):
+        for j, b in enumerate(points):
+            if i != j and a.dominates(b):
+                out.append(
+                    Violation(
+                        "pareto_dominance",
+                        f"frontier point {i} (power {a.power:.6g}, perf "
+                        f"{a.perf:.6g}) dominates point {j} (power "
+                        f"{b.power:.6g}, perf {b.perf:.6g})",
+                        equation="Alg. 2",
+                        slot=j,
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# composite artifacts
+# ----------------------------------------------------------------------
+def check_allocation_result(
+    charging: Schedule,
+    result: AllocationResult,
+    spec: BatterySpec,
+    *,
+    usage_floor: float = 0.0,
+    usage_ceiling: "float | None" = None,
+    tol: float = DEFAULT_TOL,
+) -> list[Violation]:
+    """Algorithm 1 output consistency.
+
+    * the stored trajectory is the Eq. 10 integral of the stored usage;
+    * a result claiming feasibility has its trajectory inside the window
+      and its usage inside the band;
+    * a feasible non-fallback plan is energy-balanced (Eq. 8) — the greedy
+      fallback legitimately trades balance for feasibility, so it is
+      exempt.
+    """
+    out: list[Violation] = []
+    usage = result.usage
+    traj = result.trajectory
+    initial = float(traj[0])
+    recomputed = battery_trajectory(charging, usage, initial)
+    gap = float(np.max(np.abs(recomputed - traj)))
+    scale = max(1.0, spec.c_max)
+    if gap > tol * scale:
+        out.append(
+            Violation(
+                "trajectory_consistency",
+                f"stored trajectory deviates from the Eq. 10 integral of "
+                f"the stored usage by up to {gap:.6g} J",
+                equation="Eq. 10",
+                magnitude=gap,
+            )
+        )
+    verdict = check_trajectory(recomputed, spec.c_min, spec.c_max, tol=tol * scale)
+    if result.feasible:
+        out.extend(check_battery_bounds(recomputed, spec, tol=tol * scale))
+        ceiling = math.inf if usage_ceiling is None else usage_ceiling
+        for k, value in enumerate(usage.values):
+            if value < usage_floor - tol or value > ceiling + tol:
+                out.append(
+                    Violation(
+                        "usage_band",
+                        f"feasible plan draws {value:.6g} W outside "
+                        f"[{usage_floor:.6g}, {ceiling:.6g}]",
+                        equation="Alg. 1",
+                        slot=k,
+                        magnitude=max(usage_floor - value, value - ceiling),
+                    )
+                )
+        if not result.used_fallback:
+            out.extend(check_energy_balance(charging, usage, tol=tol))
+    elif verdict.feasible:
+        out.append(
+            Violation(
+                "feasibility_flag",
+                "result flagged infeasible but its trajectory is inside "
+                f"the battery window (min {verdict.min_level:.6g}, max "
+                f"{verdict.max_level:.6g} J)",
+                equation="Alg. 1",
+            )
+        )
+    return out
+
+
+def check_energy_run(
+    result: EnergyRunResult,
+    spec: BatterySpec,
+    *,
+    tau: float,
+    tol: float = DEFAULT_TOL,
+) -> list[Violation]:
+    """Table 1 energy bookkeeping: conservation, bounds, non-negativity."""
+    out: list[Violation] = []
+    scale = max(1.0, result.supplied, result.demand)
+    for name, value in (
+        ("wasted", result.wasted),
+        ("undersupplied", result.undersupplied),
+        ("demand_shortfall", result.demand_shortfall),
+        ("supplied", result.supplied),
+        ("delivered", result.delivered),
+        ("demand", result.demand),
+    ):
+        if not math.isfinite(value) or value < -tol * scale:
+            out.append(
+                Violation(
+                    "energy_nonnegative",
+                    f"{name} energy is {value!r} J (must be finite and >= 0)",
+                    magnitude=abs(value),
+                )
+            )
+    out.extend(check_battery_bounds(result.battery_level, spec, tol=tol * scale))
+    # the battery cannot deliver more than the policy asked for in a slot
+    for k in range(result.used_power.size):
+        if result.delivered_power[k] > result.used_power[k] + tol * scale:
+            out.append(
+                Violation(
+                    "delivery_bounded",
+                    f"delivered {result.delivered_power[k]:.6g} W exceeds the "
+                    f"demanded draw {result.used_power[k]:.6g} W",
+                    slot=k,
+                    magnitude=float(
+                        result.delivered_power[k] - result.used_power[k]
+                    ),
+                )
+            )
+    # undersupply identity: demanded = drawn + undersupplied, per slot
+    shortfall = float(
+        np.sum(np.maximum(0.0, result.used_power - result.delivered_power)) * tau
+    )
+    if abs(shortfall - result.undersupplied) > max(tol, tol * scale):
+        out.append(
+            Violation(
+                "undersupply_identity",
+                f"undersupplied={result.undersupplied:.6g} J but the per-slot "
+                f"demanded-minus-delivered sum is {shortfall:.6g} J",
+                magnitude=abs(shortfall - result.undersupplied),
+            )
+        )
+    if spec.is_ideal and result.battery_level.size:
+        # supplied = delivered + Δlevel + wasted for the lossless battery
+        delta = float(result.battery_level[-1]) - float(spec.initial)
+        residual = result.supplied - result.delivered - result.wasted - delta
+        if abs(residual) > max(tol, tol * scale):
+            out.append(
+                Violation(
+                    "energy_conservation",
+                    f"supplied {result.supplied:.6g} != delivered "
+                    f"{result.delivered:.6g} + wasted {result.wasted:.6g} + "
+                    f"Δlevel {delta:.6g} (residual {residual:+.6g} J)",
+                    magnitude=abs(residual),
+                )
+            )
+    return out
+
+
+#: Plan-payload fields the oracle requires, with their expected shapes.
+_PAYLOAD_FIELDS: "tuple[tuple[str, tuple[type, ...]], ...]" = (
+    ("scenario", (str,)),
+    ("policy", (str,)),
+    ("n_periods", (int,)),
+    ("supply_factor", (int, float)),
+    ("digest", (str,)),
+    ("wasted", (int, float)),
+    ("undersupplied", (int, float)),
+    ("utilization", (int, float)),
+)
+
+
+def check_plan_payload(
+    payload: Mapping,
+    *,
+    frontier: "OperatingFrontier | None" = None,
+    tol: float = DEFAULT_TOL,
+) -> list[Violation]:
+    """Service-layer invariants on one ``plan`` response payload.
+
+    Checks field presence/shape, metric sign/finiteness, the allocation
+    band against the frontier, and that the advertised content digest
+    actually matches the request fields (a replica serving a stale or
+    mislabeled cache entry breaks exactly this).
+    """
+    out: list[Violation] = []
+    for name, kinds in _PAYLOAD_FIELDS:
+        value = payload.get(name)
+        if not isinstance(value, kinds) or isinstance(value, bool):
+            out.append(
+                Violation(
+                    "payload_shape",
+                    f"field {name!r} is {value!r}, expected "
+                    f"{'/'.join(k.__name__ for k in kinds)}",
+                )
+            )
+    if out:
+        return out  # shape is broken; value checks would only cascade
+    for name in ("wasted", "undersupplied"):
+        value = float(payload[name])
+        if not math.isfinite(value) or value < -tol:
+            out.append(
+                Violation(
+                    "payload_metrics",
+                    f"{name}={value!r} J must be finite and >= 0",
+                    magnitude=abs(value),
+                )
+            )
+    utilization = float(payload["utilization"])
+    if not math.isfinite(utilization) or utilization < -tol:
+        out.append(
+            Violation(
+                "payload_metrics",
+                f"utilization={utilization!r} must be finite and >= 0",
+            )
+        )
+    allocated = payload.get("allocated_power")
+    if allocated is not None:
+        if not isinstance(allocated, (list, tuple, np.ndarray)):
+            out.append(
+                Violation(
+                    "payload_shape",
+                    f"allocated_power is {type(allocated).__name__}, "
+                    "expected a per-slot list",
+                )
+            )
+        else:
+            ceiling = math.inf if frontier is None else frontier.max_power
+            for k, value in enumerate(allocated):
+                if value is None or (isinstance(value, float) and math.isnan(value)):
+                    continue  # plan-free policy: allocation is null per slot
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    out.append(
+                        Violation(
+                            "payload_shape",
+                            f"allocated_power[{k}] is {value!r}",
+                            slot=k,
+                        )
+                    )
+                elif value < -tol or value > ceiling + tol:
+                    out.append(
+                        Violation(
+                            "allocation_band",
+                            f"allocated_power[{k}]={value:.6g} W outside "
+                            f"[0, {ceiling:.6g}]",
+                            equation="Alg. 3",
+                            slot=k,
+                            magnitude=max(-value, value - ceiling),
+                        )
+                    )
+    # digest must be recomputable from the request fields it claims to hash
+    from ..service.protocol import PlanRequest  # deferred: keeps core import-light
+
+    expected = PlanRequest(
+        scenario=payload["scenario"],
+        policy=payload["policy"],
+        n_periods=payload["n_periods"],
+        supply_factor=float(payload["supply_factor"]),
+    ).digest()
+    if payload["digest"] != expected:
+        out.append(
+            Violation(
+                "payload_digest",
+                f"digest {payload['digest']!r} does not match the request "
+                f"fields (expected {expected!r})",
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# scenario-level composite
+# ----------------------------------------------------------------------
+def verify_scenario(
+    scenario,
+    frontier: OperatingFrontier,
+    *,
+    n_periods: int = 2,
+    supply_factor: float = 1.0,
+    session: "CheckSession | None" = None,
+) -> VerificationReport:
+    """Run the full oracle over one scenario end to end.
+
+    Plans the scenario the same way the production path does (Eq. 7/8 →
+    Algorithm 1 → Algorithm 2), simulates the managed run, and checks
+    every stage's output.  Returns the combined report; with ``session``
+    the checks are folded into the caller's accumulator instead.
+    """
+    from ..analysis.energy import run_managed
+    from ..core.allocation import allocate
+    from ..core.parameters import plan_parameters
+    from ..core.wpuf import desired_usage
+
+    own = session is None
+    s = session or CheckSession()
+    s.push_context(f"{scenario.name} x{supply_factor}")
+    try:
+        u_new = desired_usage(scenario.event_demand, scenario.weight(), scenario.charging)
+        s.run(
+            check_wpuf_normalization,
+            scenario.event_demand,
+            scenario.weight(),
+            scenario.charging,
+            u_new,
+        )
+        allocation = allocate(
+            scenario.charging,
+            u_new,
+            scenario.spec,
+            usage_ceiling=frontier.max_power,
+        )
+        s.run(
+            check_allocation_result,
+            scenario.charging,
+            allocation,
+            scenario.spec,
+            usage_ceiling=frontier.max_power,
+        )
+        s.run(check_pareto_frontier, frontier)
+        schedule = plan_parameters(
+            allocation.usage,
+            frontier,
+            charging=scenario.charging,
+            spec=scenario.spec,
+            initial_level=float(allocation.trajectory[0]),
+        )
+        s.add(
+            # the schedule reuses frontier points, whose Eq. 6 consistency
+            # check_pareto/check_power cover; here we assert the budget rule:
+            # a slot never picks a point it cannot afford unless even the
+            # cheapest point exceeds the allocation.
+            [
+                Violation(
+                    "budget_respected",
+                    f"slot {d.slot} picked a {d.point.power:.6g} W point on a "
+                    f"{d.allocated_power:.6g} W allocation with cheaper "
+                    "points available",
+                    equation="Alg. 2",
+                    slot=d.slot,
+                    magnitude=d.point.power - d.allocated_power,
+                )
+                for d in schedule.decisions
+                if d.point.power > d.allocated_power + 1e-9
+                and d.point.power > frontier.min_power + 1e-12
+            ]
+        )
+        run = run_managed(
+            scenario, frontier, n_periods=n_periods, supply_factor=supply_factor
+        )
+        s.run(check_energy_run, run, scenario.spec, tau=scenario.grid.tau)
+    finally:
+        s.pop_context()
+    return s.report() if own else VerificationReport(0)

@@ -1,0 +1,167 @@
+"""Opt-in runtime check mode: the oracle wired into live components.
+
+Two integration points:
+
+* :class:`CheckedSimulationEngine` — a drop-in
+  :class:`~repro.sim.engine.SimulationEngine` that audits its own event
+  ordering as it runs (monotone clock, FIFO among equal timestamps,
+  cancellation bookkeeping, ``run_until`` deadline discipline).  The
+  engine fuzzer (:func:`repro.verify.fuzz.fuzz_engine`) drives random op
+  sequences through it.
+* :class:`RuntimeVerifier` — the hook :class:`~repro.service.server.PlanServer`
+  runs every freshly computed plan payload through when its config sets
+  ``verify=True``.  Violations are counted into the existing metrics
+  registry (``verify_plans_checked`` / ``verify_violations``) and exposed
+  in the ``status`` load section; serving is never blocked — a violating
+  plan is still returned, loudly.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Mapping
+
+from ..sim.engine import SimulationEngine
+from .oracle import Violation, check_plan_payload
+
+__all__ = ["CheckedSimulationEngine", "RuntimeVerifier"]
+
+logger = logging.getLogger("repro.verify")
+
+
+class CheckedSimulationEngine(SimulationEngine):
+    """Simulation engine that audits its own event-ordering invariants.
+
+    Violations accumulate on :attr:`violations` instead of raising, so a
+    fuzzer can keep driving the engine after a defect and report every
+    consequence of it.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        super().__init__(start_time)
+        self.violations: list[Violation] = []
+        self.checks = 0
+        self._last_executed: "tuple[float, int] | None" = None
+
+    # ------------------------------------------------------------------
+    def _audit_sets(self) -> None:
+        self.checks += 1
+        if not self._cancelled <= self._queued:
+            self.violations.append(
+                Violation(
+                    "engine_bookkeeping",
+                    f"{len(self._cancelled - self._queued)} cancelled seq(s) "
+                    "not present in the queued set",
+                )
+            )
+        if len(self._queued) != len(self._queue):
+            self.violations.append(
+                Violation(
+                    "engine_bookkeeping",
+                    f"queued-set size {len(self._queued)} != heap size "
+                    f"{len(self._queue)}",
+                )
+            )
+
+    def step(self) -> bool:
+        self._audit_sets()
+        self._discard_cancelled_head()
+        head = self._queue[0] if self._queue else None
+        before = self._now
+        ran = super().step()
+        self.checks += 1
+        if ran:
+            time, seq, _ = head
+            if seq in self._cancelled:
+                self.violations.append(
+                    Violation(
+                        "engine_cancelled_ran",
+                        f"cancelled event seq={seq} at t={time:.6g} executed",
+                        slot=seq,
+                    )
+                )
+            if time < before - 1e-12:
+                self.violations.append(
+                    Violation(
+                        "engine_clock_monotone",
+                        f"executed event at t={time:.6g} while the clock was "
+                        f"already at {before:.6g}",
+                        magnitude=before - time,
+                    )
+                )
+            if self._last_executed is not None and (time, seq) < self._last_executed:
+                self.violations.append(
+                    Violation(
+                        "engine_fifo_order",
+                        f"event (t={time:.6g}, seq={seq}) executed after "
+                        f"(t={self._last_executed[0]:.6g}, "
+                        f"seq={self._last_executed[1]}) — (time, seq) order "
+                        "broken",
+                    )
+                )
+            self._last_executed = (time, seq)
+        return ran
+
+    def run_until(self, t_end: float) -> None:
+        super().run_until(t_end)
+        self.checks += 1
+        if self._last_executed is not None and self._last_executed[0] > t_end + 1e-12:
+            self.violations.append(
+                Violation(
+                    "engine_deadline",
+                    f"run_until({t_end:.6g}) executed an event at "
+                    f"t={self._last_executed[0]:.6g}",
+                    magnitude=self._last_executed[0] - t_end,
+                )
+            )
+        if self._now < t_end - 1e-12:
+            self.violations.append(
+                Violation(
+                    "engine_clock_advance",
+                    f"run_until({t_end:.6g}) left the clock at {self._now:.6g}",
+                    magnitude=t_end - self._now,
+                )
+            )
+
+
+class RuntimeVerifier:
+    """Per-payload oracle hook for the plan server's check mode.
+
+    Thread-safety: counters are bumped from executor callbacks; plain int
+    increments under CPython's GIL are adequate here because the values
+    feed monitoring, not control flow.
+    """
+
+    def __init__(self, *, frontier=None, metrics=None):
+        self._frontier = frontier
+        self._metrics = metrics
+        self.plans_checked = 0
+        self.violation_count = 0
+        self.last_violation: "Violation | None" = None
+
+    def check_payload(self, payload: Mapping) -> list[Violation]:
+        """Run the payload oracle; count, log, and return what it found."""
+        violations = check_plan_payload(payload, frontier=self._frontier)
+        self.plans_checked += 1
+        if self._metrics is not None:
+            self._metrics.inc("verify_plans_checked")
+        if violations:
+            self.violation_count += len(violations)
+            self.last_violation = violations[-1]
+            if self._metrics is not None:
+                self._metrics.inc("verify_violations", len(violations))
+            for v in violations:
+                logger.warning(
+                    "plan verification failed digest=%s %s",
+                    payload.get("digest"),
+                    v,
+                )
+        return violations
+
+    def snapshot(self) -> dict:
+        """The ``status`` load-section entry for check mode."""
+        return {
+            "enabled": True,
+            "plans_checked": self.plans_checked,
+            "violations": self.violation_count,
+        }

@@ -1,7 +1,15 @@
-"""Shared fixtures: the PAMA platform and paper scenarios."""
+"""Shared fixtures: the PAMA platform and paper scenarios.
+
+Also the suite-wide determinism guard rails: every test starts from a
+freshly seeded global RNG (stdlib and numpy), and ``--update-golden``
+rewrites the pinned outputs under ``tests/golden/`` (docs/VERIFY.md).
+"""
 
 from __future__ import annotations
 
+import random
+
+import numpy as np
 import pytest
 
 from repro.models.battery import BatterySpec
@@ -19,6 +27,29 @@ from repro.scenarios.paper import (
 )
 from repro.util.schedule import Schedule
 from repro.util.timegrid import TimeGrid
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ files from current output instead of comparing",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _seed_global_rngs():
+    """Every test starts from the same global RNG state.
+
+    Tests that need randomness should build their own ``random.Random(seed)``
+    / ``numpy.random.default_rng(seed)``; this fixture is the safety net
+    that keeps any stray global draw (in tests or library code under test)
+    deterministic and order-independent.
+    """
+    random.seed(0x5EED)
+    np.random.seed(0x5EED)
+    yield
 
 
 @pytest.fixture

@@ -11,6 +11,8 @@ per-replica serving artifacts (``cached``, ``compute_wall_s``,
 
 from __future__ import annotations
 
+import pytest
+
 from contextlib import contextmanager
 
 from repro.fleet.gateway import GatewayConfig, PlanGateway
@@ -23,6 +25,8 @@ from repro.service.protocol import (
 )
 from repro.service.server import PlanServer, ServerConfig
 from repro.util.jsonio import dumps_json
+
+pytestmark = pytest.mark.fleet
 
 REQUESTS = [
     {"scenario": "scenario1", "policy": "proposed", "n_periods": 2, "supply_factor": 1.0},

@@ -23,6 +23,8 @@ from repro.service.client import PlanClient, PlanServiceError
 from repro.service.protocol import PlanRequest, error_response, ok_response
 from repro.service.server import PlanServer, ServerConfig
 
+pytestmark = pytest.mark.fleet
+
 
 # ----------------------------------------------------------------------
 # harness

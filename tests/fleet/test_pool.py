@@ -7,6 +7,8 @@ import pytest
 from repro.fleet.pool import ConnectionPool, PoolGroup
 from repro.service.client import ClientError, PlanServiceError
 
+pytestmark = pytest.mark.fleet
+
 
 class FakeClient:
     """Connection-shaped test double with a controllable socket state."""

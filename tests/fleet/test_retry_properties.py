@@ -1,0 +1,106 @@
+"""Property-based checks for the backoff policy and latency tracker.
+
+Seeded stdlib ``random`` stands in for a property-testing framework:
+each property is exercised over a few hundred generated cases and every
+case is replayable from the module's fixed seeds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fleet.retry import BackoffPolicy, LatencyTracker
+
+
+def random_policy(rng: random.Random) -> BackoffPolicy:
+    base = rng.uniform(1e-4, 0.2)
+    return BackoffPolicy(
+        base_s=base,
+        cap_s=base * rng.uniform(1.0, 50.0),
+        max_attempts=rng.randint(1, 8),
+    )
+
+
+def test_delay_always_within_the_jitter_envelope():
+    rng = random.Random(1001)
+    for _ in range(300):
+        policy = random_policy(rng)
+        attempt = rng.randint(0, 12)
+        ceiling = policy.ceiling_s(attempt)
+        delay = policy.delay_s(attempt, rng=rng)
+        assert 0.0 <= delay <= ceiling <= policy.cap_s
+        # full jitter: the ceiling itself never exceeds the doubling curve
+        assert ceiling <= policy.base_s * 2.0**attempt + 1e-12
+
+
+def test_ceiling_doubles_until_the_cap():
+    rng = random.Random(1002)
+    for _ in range(200):
+        policy = random_policy(rng)
+        previous = policy.ceiling_s(0)
+        assert previous == min(policy.cap_s, policy.base_s)
+        for attempt in range(1, 12):
+            ceiling = policy.ceiling_s(attempt)
+            # monotone, at most doubling, and clamped at the cap
+            assert previous <= ceiling <= policy.cap_s
+            assert ceiling <= 2.0 * previous + 1e-12
+            previous = ceiling
+        assert policy.ceiling_s(40) == policy.cap_s
+
+
+def test_delay_is_deterministic_under_a_seeded_rng():
+    policy = BackoffPolicy(base_s=0.02, cap_s=0.5, max_attempts=4)
+    a = [policy.delay_s(i, rng=random.Random(7)) for i in range(6)]
+    b = [policy.delay_s(i, rng=random.Random(7)) for i in range(6)]
+    assert a == b
+
+
+def test_negative_attempt_and_bad_policy_rejected():
+    policy = BackoffPolicy()
+    with pytest.raises(ValueError):
+        policy.ceiling_s(-1)
+    with pytest.raises(ValueError):
+        BackoffPolicy(base_s=-0.1)
+    with pytest.raises(ValueError):
+        BackoffPolicy(max_attempts=0)
+
+
+def test_hedge_delay_is_always_clamped_to_its_band():
+    rng = random.Random(1003)
+    for _ in range(100):
+        lo = rng.uniform(0.001, 0.2)
+        hi = lo + rng.uniform(0.0, 1.0)
+        tracker = LatencyTracker(
+            window=rng.randint(1, 64),
+            quantile=rng.uniform(0.0, 100.0),
+            min_delay_s=lo,
+            max_delay_s=hi,
+            default_delay_s=rng.uniform(0.0, 2.0),
+            min_samples=rng.randint(1, 16),
+        )
+        for _ in range(rng.randint(0, 40)):
+            tracker.observe(rng.expovariate(5.0))
+        assert lo <= tracker.hedge_delay_s() <= hi
+
+
+def test_hedge_delay_uses_the_default_until_enough_samples():
+    tracker = LatencyTracker(
+        min_samples=8, default_delay_s=0.25, min_delay_s=0.05, max_delay_s=1.0
+    )
+    for _ in range(7):
+        tracker.observe(0.9)
+        assert tracker.hedge_delay_s() == 0.25  # still warming up
+    tracker.observe(0.9)
+    assert len(tracker) == 8
+    assert tracker.hedge_delay_s() == pytest.approx(0.9)
+
+
+def test_tracker_window_evicts_oldest_samples():
+    tracker = LatencyTracker(window=4, min_samples=1, quantile=100.0,
+                             min_delay_s=0.0, max_delay_s=10.0)
+    for value in (5.0, 5.0, 5.0, 5.0, 0.1, 0.1, 0.1, 0.1):
+        tracker.observe(value)
+    assert len(tracker) == 4
+    assert tracker.hedge_delay_s() == pytest.approx(0.1)

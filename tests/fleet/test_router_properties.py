@@ -1,0 +1,95 @@
+"""Property-based checks for rendezvous (HRW) routing.
+
+The load-bearing property is *minimal disruption*: removing a backend
+may only remap the keys that ranked it first, and adding one may only
+claim the keys it wins — every other key keeps its previous owner.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fleet.router import RendezvousRouter, rendezvous_score
+
+
+def random_backends(rng: random.Random, n: int) -> list[str]:
+    return [f"tcp:10.0.0.{rng.randint(1, 250)}:{5000 + i}" for i in range(n)]
+
+
+def random_keys(rng: random.Random, n: int) -> list[str]:
+    return [f"plan:scenario{rng.randint(1, 9)}:{rng.random():.12f}" for _ in range(n)]
+
+
+def test_rank_is_a_permutation_of_the_backends():
+    rng = random.Random(2001)
+    for _ in range(50):
+        backends = random_backends(rng, rng.randint(1, 8))
+        router = RendezvousRouter(backends)
+        for key in random_keys(rng, 10):
+            rank = router.rank(key)
+            assert sorted(rank) == sorted(router.backends)
+            # scores actually order the rank (declaration order breaks ties)
+            scores = [rendezvous_score(key, b) for b in rank]
+            assert scores == sorted(scores, reverse=True)
+
+
+def test_removing_a_backend_only_remaps_its_own_keys():
+    rng = random.Random(2002)
+    for _ in range(30):
+        backends = random_backends(rng, rng.randint(2, 8))
+        router = RendezvousRouter(backends)
+        keys = random_keys(rng, 60)
+        before = {key: router.rank(key)[0] for key in keys}
+        victim = rng.choice(backends)
+        shrunk = RendezvousRouter([b for b in backends if b != victim])
+        for key in keys:
+            owner = shrunk.rank(key)[0]
+            if before[key] == victim:
+                # orphaned keys fall through to their previous runner-up
+                assert owner == router.rank(key)[1]
+            else:
+                assert owner == before[key]
+
+
+def test_adding_a_backend_only_claims_the_keys_it_wins():
+    rng = random.Random(2003)
+    for _ in range(30):
+        backends = random_backends(rng, rng.randint(1, 7))
+        newcomer = "tcp:10.9.9.9:9999"
+        assert newcomer not in backends
+        router = RendezvousRouter(backends)
+        grown = RendezvousRouter(backends + [newcomer])
+        for key in random_keys(rng, 60):
+            owner = grown.rank(key)[0]
+            if owner != newcomer:
+                assert owner == router.rank(key)[0]
+
+
+def test_route_filters_to_the_available_set():
+    rng = random.Random(2004)
+    backends = random_backends(rng, 6)
+    router = RendezvousRouter(backends)
+    for key in random_keys(rng, 20):
+        available = {b for b in backends if rng.random() < 0.5}
+        routed = router.route(key, available=available)
+        assert list(routed) == [b for b in router.rank(key) if b in available]
+    assert router.route("any", available=set()) == ()
+
+
+def test_routing_is_deterministic_and_order_independent():
+    backends = [f"tcp:127.0.0.1:{p}" for p in (6001, 6002, 6003, 6004)]
+    shuffled = list(backends)
+    random.Random(9).shuffle(shuffled)
+    a = RendezvousRouter(backends)
+    b = RendezvousRouter(shuffled)
+    for key in random_keys(random.Random(2005), 40):
+        assert a.rank(key)[0] == b.rank(key)[0]
+
+
+def test_constructor_dedups_and_rejects_empty():
+    router = RendezvousRouter(["x", "y", "x"])
+    assert router.backends == ("x", "y")
+    with pytest.raises(ValueError):
+        RendezvousRouter([])

@@ -1,0 +1,52 @@
+"""Golden-file regression tests for the paper's published outputs.
+
+Every table and figure the CLI can render is pinned byte-for-byte under
+``tests/golden/``.  A drift in any model, allocator, or formatter shows
+up here as a readable diff.  When the change is *intentional*, refresh
+the pins and review the diff like any other code change:
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+    git diff tests/golden/
+
+(see docs/VERIFY.md for the full workflow).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _render
+
+GOLDEN_DIR = Path(__file__).parent
+
+#: experiment name -> (golden file, rendered as csv?)
+PINNED = {
+    "table1": ("table1.txt", False),
+    "table2": ("table2.txt", False),
+    "table3": ("table3.txt", False),
+    "table4": ("table4.txt", False),
+    "table5": ("table5.txt", False),
+    "fig3": ("fig3.csv", True),
+    "fig4": ("fig4.csv", True),
+}
+
+
+@pytest.mark.parametrize("experiment", sorted(PINNED))
+def test_output_matches_golden(experiment, request):
+    filename, csv = PINNED[experiment]
+    path = GOLDEN_DIR / filename
+    rendered = _render(experiment, csv=csv, n_periods=2)
+    if not rendered.endswith("\n"):
+        rendered += "\n"
+    if request.config.getoption("--update-golden"):
+        path.write_text(rendered)
+        pytest.skip(f"rewrote {path.name}")
+    assert path.exists(), (
+        f"missing golden file {path.name}; run pytest with --update-golden"
+    )
+    assert rendered == path.read_text(), (
+        f"{experiment} drifted from tests/golden/{filename}; if intentional, "
+        "refresh with --update-golden and review the diff"
+    )

@@ -23,6 +23,8 @@ from repro.analysis.energy import run_demand_follower
 from repro.service.client import ClientError, PlanClient, PlanServiceError
 from repro.service.server import PlanServer, ServerConfig
 
+pytestmark = pytest.mark.service
+
 SLEEPY_S = 0.5
 
 

@@ -19,6 +19,8 @@ from repro.service.client import PlanClient, PlanServiceError
 from repro.service.protocol import resolve_scenario
 from repro.service.server import PlanServer, ServerConfig
 
+pytestmark = pytest.mark.service
+
 SLEEPY_S = 0.4  #: wall time of one "sleepy" policy cell
 
 

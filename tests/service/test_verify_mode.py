@@ -1,0 +1,64 @@
+"""Server check mode (``--verify``): every computed plan runs through the
+paper-invariant oracle, and the counts surface in ``status``."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.service.client import PlanClient
+from repro.service.server import PlanServer, ServerConfig
+
+pytestmark = pytest.mark.service
+
+
+@contextmanager
+def running_server(tmp_path, frontier, **overrides):
+    overrides.setdefault("address", f"unix:{tmp_path}/plan.sock")
+    overrides.setdefault("metrics_interval_s", 0.0)
+    server = PlanServer(ServerConfig(**overrides), frontier=frontier)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+def test_verify_disabled_by_default(tmp_path, frontier):
+    with running_server(tmp_path, frontier) as server:
+        with PlanClient(server.endpoint, timeout=10.0) as client:
+            client.plan("scenario1")
+            verify = client.status()["load"]["verify"]
+    assert verify == {"enabled": False, "plans_checked": 0, "violations": 0}
+
+
+def test_verify_mode_checks_each_computed_plan_once(tmp_path, frontier):
+    with running_server(tmp_path, frontier, verify=True) as server:
+        with PlanClient(server.endpoint, timeout=10.0) as client:
+            first = client.plan("scenario1")
+            second = client.plan("scenario1")  # cache hit: not re-checked
+            client.plan("scenario1", supply_factor=0.9)
+            verify = client.status()["load"]["verify"]
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert verify == {"enabled": True, "plans_checked": 2, "violations": 0}
+        counters = server.metrics.snapshot()["counters"]
+        assert counters["verify_plans_checked"] == 2
+        assert counters.get("verify_violations", 0) == 0
+
+
+def test_verify_mode_counts_violations_without_blocking(tmp_path, frontier):
+    with running_server(tmp_path, frontier, verify=True) as server:
+        # feed the verifier a corrupt payload directly: serving must not
+        # depend on the oracle's verdict, only the counters move
+        assert server._verifier is not None
+        violations = server._verifier.check_payload({"wasted": -1.0})
+        assert violations
+        with PlanClient(server.endpoint, timeout=10.0) as client:
+            payload = client.plan("scenario1")
+            verify = client.status()["load"]["verify"]
+    assert payload["plan_feasible"] is True
+    assert verify["enabled"] is True
+    assert verify["violations"] == len(violations)
+    assert verify["plans_checked"] == 2

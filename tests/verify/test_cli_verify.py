@@ -1,0 +1,63 @@
+"""The ``repro verify`` subcommand: exit codes, JSON report, protocol pass."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service.protocol import ProtocolError, decode_message
+
+
+def test_verify_exits_zero_on_clean_run(capsys, tmp_path):
+    report = tmp_path / "verify.json"
+    code = main(
+        [
+            "verify",
+            "--cases",
+            "3",
+            "--seed",
+            "0",
+            "--skip-protocol",
+            "--json",
+            str(report),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    blob = json.loads(report.read_text())
+    assert blob["total"]["ok"] is True
+    assert blob["total"]["checks_run"] > 100  # differential sweep >= 100 budgets
+    assert set(blob["stages"]) >= {"scenarios", "differential", "fuzz_scenarios"}
+
+
+def test_verify_exits_nonzero_on_corrupted_plan(capsys):
+    code = main(["verify", "--cases", "1", "--seed", "0", "--skip-protocol", "--corrupt"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "VIOLATION" in out
+    assert "injected fault" in out or "oracle_miss" in out
+
+
+def test_verify_rejects_bad_cases():
+    with pytest.raises(SystemExit):
+        main(["verify", "--cases", "0"])
+
+
+@pytest.mark.service
+def test_verify_protocol_stage_against_live_daemon_and_gateway(capsys):
+    code = main(["verify", "--cases", "8", "--seed", "0", "--scenarios", "paper"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fuzz_protocol_daemon" in out
+    assert "fuzz_protocol_gateway" in out
+
+
+def test_decode_message_rejects_deep_nesting_instead_of_crashing():
+    depth = 50000  # far beyond any recursion limit
+    frame = b'{"op": ' + b"[" * depth + b"]" * depth + b"}\n"
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_message(frame)
+    assert excinfo.value.code == "bad_request"

@@ -1,0 +1,137 @@
+"""Differential checks: fast paths vs reference implementations."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.pareto import OperatingFrontier, build_operating_points
+from repro.models.battery import BatterySpec
+from repro.scenarios.paper import (
+    FREQUENCIES_HZ,
+    N_WORKERS,
+    pama_frontier,
+    pama_performance_model,
+    pama_power_model,
+)
+from repro.util.schedule import Schedule
+from repro.util.timegrid import TimeGrid
+from repro.verify.differential import (
+    brute_force_feasible,
+    check_allocator_vs_brute_force,
+    check_continuous_agreement,
+    check_discrete_search,
+)
+
+
+@pytest.fixture(scope="module")
+def pama_table():
+    perf = pama_performance_model()
+    power = pama_power_model(include_standby_floor=False)
+    points = build_operating_points(
+        N_WORKERS, FREQUENCIES_HZ, perf, power, count_standby=False
+    )
+    return pama_frontier(), points, perf, power
+
+
+def test_discrete_search_agrees_with_linear_scan(pama_table):
+    frontier, points, _, _ = pama_table
+    rng = random.Random(42)
+    for _ in range(200):
+        budget = rng.uniform(0.0, 1.3 * frontier.max_power)
+        assert check_discrete_search(frontier, points, budget) == []
+
+
+def test_discrete_search_flags_a_broken_lookup(pama_table):
+    frontier, points, _, _ = pama_table
+    # a "frontier" that always answers with its cheapest point
+    class BrokenFrontier:
+        max_power = frontier.max_power
+        min_power = frontier.min_power
+
+        def best_within_power(self, budget):
+            return frontier.points[0]
+
+    violations = check_discrete_search(BrokenFrontier(), points, frontier.max_power)
+    assert {v.invariant for v in violations} == {"discrete_search"}
+
+
+def test_continuous_agreement_on_100_budgets(pama_table):
+    """Acceptance criterion: discrete (n, f, v) within quantization tolerance
+    of the Eq. 18 continuous optimum on >= 100 scenarios."""
+    frontier, points, perf, power = pama_table
+    rng = random.Random(7)
+    for _ in range(120):
+        budget = rng.uniform(0.0, 1.3 * frontier.max_power)
+        assert (
+            check_continuous_agreement(
+                frontier, points, perf, power, budget, n_max=N_WORKERS
+            )
+            == []
+        )
+
+
+def test_continuous_agreement_flags_inflated_perf(pama_table):
+    frontier, points, perf, power = pama_table
+    top = frontier.max_perf_point
+
+    class CheatingFrontier:
+        max_power = frontier.max_power
+        min_power = frontier.min_power
+
+        def best_within_power(self, budget):
+            # claims the top point's perf at a fraction of its power
+            return type(top)(budget / 2, top.perf * 10, top.n, top.f, top.v)
+
+    violations = check_continuous_agreement(
+        CheatingFrontier(), points, perf, power, frontier.max_power, n_max=N_WORKERS
+    )
+    assert any(v.invariant == "continuous_upper_bound" for v in violations)
+
+
+def test_brute_force_finds_the_flat_witness():
+    grid = TimeGrid(8.0, 2.0)
+    charging = Schedule(grid, [2.0, 0.0, 2.0, 0.0])
+    desired = Schedule(grid, [1.0, 1.0, 1.0, 1.0])
+    spec = BatterySpec(c_max=10.0, c_min=0.0, initial=5.0)
+    witness = brute_force_feasible(charging, desired, spec)
+    assert witness is not None
+    assert witness.total_energy() == pytest.approx(charging.total_energy())
+
+
+def test_brute_force_respects_an_impossible_window():
+    grid = TimeGrid(8.0, 2.0)
+    # all supply up front and a floor that forces drawing in the dark
+    # slots, but the battery can store almost nothing to bridge them
+    charging = Schedule(grid, [4.0, 0.0, 0.0, 0.0])
+    desired = Schedule(grid, [1.0, 1.0, 1.0, 1.0])
+    spec = BatterySpec(c_max=0.05, c_min=0.0)
+    assert (
+        brute_force_feasible(charging, desired, spec, usage_floor=1.0, n_levels=5)
+        is None
+    )
+
+
+def test_brute_force_raises_past_the_combination_cap():
+    grid = TimeGrid(20.0, 2.0)
+    charging = Schedule.constant(grid, 1.0)
+    with pytest.raises(ValueError, match="max_combos"):
+        brute_force_feasible(
+            charging, charging, BatterySpec(c_max=10.0), n_levels=6, max_combos=100
+        )
+
+
+def test_allocator_vs_brute_force_clean_on_random_grids():
+    rng = random.Random(3)
+    for _ in range(25):
+        n = rng.choice([4, 5, 6])
+        grid = TimeGrid(n * 2.0, 2.0)
+        charging = Schedule(
+            grid, [rng.uniform(0, 3) * (rng.random() < 0.7) for _ in range(n)]
+        )
+        desired = Schedule(grid, [rng.uniform(0, 3) for _ in range(n)])
+        c_max = rng.uniform(2.0, 12.0)
+        spec = BatterySpec(c_max=c_max, c_min=rng.uniform(0, 0.3 * c_max))
+        assert check_allocator_vs_brute_force(charging, desired, spec) == []

@@ -1,0 +1,66 @@
+"""Fuzzer determinism, coverage, and the seeded-corruption fault injector."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.batch import run_cell
+from repro.scenarios.paper import pama_frontier
+from repro.service.protocol import PlanRequest
+from repro.service.server import PlanServer
+from repro.verify import check_plan_payload
+from repro.verify.fuzz import corrupt_payload, fuzz_engine, fuzz_scenarios
+
+
+def test_fuzz_scenarios_clean_and_deterministic():
+    first = fuzz_scenarios(seed=0, cases=15)
+    assert first.ok, [str(v) for v in first.violations]
+    second = fuzz_scenarios(seed=0, cases=15)
+    assert second.checks_run == first.checks_run
+    assert second.violations == first.violations
+
+
+def test_fuzz_scenarios_seed_changes_the_cases():
+    a = fuzz_scenarios(seed=0, cases=10)
+    b = fuzz_scenarios(seed=1, cases=10)
+    # different draws exercise different checks; both still pass
+    assert a.ok and b.ok
+    assert a.checks_run != b.checks_run or a.checks_run > 0
+
+
+def test_fuzz_engine_clean_and_deterministic():
+    first = fuzz_engine(seed=0, cases=25)
+    assert first.ok, [str(v) for v in first.violations]
+    assert first.checks_run == 25
+    second = fuzz_engine(seed=0, cases=25)
+    assert second.violations == first.violations
+
+
+@pytest.fixture(scope="module")
+def valid_payload():
+    request = PlanRequest("scenario1", supply_factor=0.9)
+    outcome = run_cell(request.to_cell_spec(), pama_frontier())
+    return PlanServer._plan_payload(request, request.digest(), outcome)
+
+
+def test_valid_payload_passes_the_oracle(valid_payload):
+    assert check_plan_payload(valid_payload, frontier=pama_frontier()) == []
+
+
+@pytest.mark.parametrize("fault_seed", range(12))
+def test_every_corruption_class_is_caught(valid_payload, fault_seed):
+    """Acceptance criterion: a deliberately corrupted plan never passes."""
+    mutated, description = corrupt_payload(
+        valid_payload, random.Random(fault_seed)
+    )
+    assert mutated != dict(valid_payload), description
+    violations = check_plan_payload(mutated, frontier=pama_frontier())
+    assert violations, f"oracle missed: {description}"
+
+
+def test_corrupt_payload_is_single_fault_and_pure(valid_payload):
+    before = dict(valid_payload)
+    corrupt_payload(valid_payload, random.Random(0))
+    assert dict(valid_payload) == before  # never mutates the input

@@ -1,0 +1,283 @@
+"""The invariant oracle: clean artifacts pass, broken ones are localized."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy import run_managed
+from repro.core.allocation import allocate
+from repro.core.pareto import OperatingFrontier, OperatingPoint
+from repro.core.wpuf import desired_usage
+from repro.models.battery import BatterySpec
+from repro.service.protocol import PlanRequest
+from repro.util.schedule import Schedule
+from repro.verify import (
+    CheckSession,
+    check_allocation_result,
+    check_battery_bounds,
+    check_energy_balance,
+    check_energy_run,
+    check_pareto_frontier,
+    check_plan_payload,
+    check_power_consistency,
+    check_wpuf_normalization,
+    verify_scenario,
+)
+
+
+def invariants(violations):
+    return {v.invariant for v in violations}
+
+
+# ----------------------------------------------------------------------
+# Eq. 10 battery bounds
+# ----------------------------------------------------------------------
+def test_battery_bounds_clean(battery_spec):
+    levels = np.linspace(battery_spec.c_min, battery_spec.c_max, 13)
+    assert check_battery_bounds(levels, battery_spec) == []
+
+
+def test_battery_bounds_flags_undershoot_and_slot(battery_spec):
+    levels = np.full(5, battery_spec.c_min)
+    levels[3] = battery_spec.c_min - 0.5
+    violations = check_battery_bounds(levels, battery_spec)
+    assert invariants(violations) == {"battery_bounds"}
+    assert violations[0].slot == 3
+    assert violations[0].magnitude == pytest.approx(0.5)
+    assert violations[0].equation == "Eq. 10"
+
+
+def test_battery_bounds_flags_overshoot_and_nonfinite(battery_spec):
+    levels = [battery_spec.c_max + 1.0, float("nan")]
+    violations = check_battery_bounds(levels, battery_spec)
+    assert len(violations) == 2
+    assert invariants(violations) == {"battery_bounds"}
+
+
+# ----------------------------------------------------------------------
+# Eq. 8 energy balance + WPUF normalization
+# ----------------------------------------------------------------------
+def test_energy_balance_clean_and_broken(small_grid):
+    charging = Schedule(small_grid, [2.0, 0.0, 2.0, 0.0])
+    balanced = Schedule.constant(small_grid, 1.0)
+    assert check_energy_balance(charging, balanced) == []
+    lopsided = Schedule.constant(small_grid, 1.5)
+    violations = check_energy_balance(charging, lopsided)
+    assert invariants(violations) == {"energy_balance"}
+    assert violations[0].magnitude == pytest.approx(0.5 * 4 * small_grid.tau)
+
+
+def test_wpuf_normalization_accepts_the_real_thing(small_grid):
+    events = Schedule(small_grid, [1.0, 3.0, 0.0, 2.0])
+    weight = Schedule(small_grid, [1.0, 0.5, 2.0, 1.0])
+    charging = Schedule(small_grid, [2.0, 2.0, 0.0, 0.0])
+    usage = desired_usage(events, weight, charging)
+    assert check_wpuf_normalization(events, weight, charging, usage) == []
+
+
+def test_wpuf_normalization_rejects_rescaled_and_reordered(small_grid):
+    events = Schedule(small_grid, [1.0, 3.0, 0.0, 2.0])
+    weight = Schedule.constant(small_grid, 1.0)
+    charging = Schedule(small_grid, [2.0, 2.0, 0.0, 0.0])
+    usage = desired_usage(events, weight, charging)
+    off_scale = usage * 1.1  # breaks Eq. 8 proportionality
+    assert "wpuf_normalization" in invariants(
+        check_wpuf_normalization(events, weight, charging, off_scale)
+    )
+    swapped = Schedule(small_grid, usage.values[[1, 0, 2, 3]])
+    found = invariants(check_wpuf_normalization(events, weight, charging, swapped))
+    assert "wpuf_monotone" in found
+    negative = Schedule(small_grid, [-0.1, 1.0, 1.0, 1.0])
+    assert "wpuf_nonnegative" in invariants(
+        check_wpuf_normalization(events, weight, charging, negative)
+    )
+
+
+# ----------------------------------------------------------------------
+# Eq. 6 power consistency + Pareto dominance
+# ----------------------------------------------------------------------
+def test_power_consistency_clean_on_pama_frontier(frontier, power_model):
+    assert check_power_consistency(frontier.points, power_model) == []
+
+
+def test_power_consistency_flags_a_doctored_point(frontier, power_model):
+    honest = frontier.points[-1]
+    doctored = OperatingPoint(
+        honest.power * 1.5, honest.perf, honest.n, honest.f, honest.v
+    )
+    violations = check_power_consistency([doctored], power_model)
+    assert invariants(violations) == {"power_consistency"}
+    assert violations[0].equation == "Eq. 6"
+
+
+def test_pareto_frontier_clean_then_flags_dominated_point(frontier):
+    assert check_pareto_frontier(frontier) == []
+    p = frontier.points
+    # splice in a point that costs more power for less perf: dominated,
+    # and it breaks the strictly-increasing perf ordering
+    bad = OperatingPoint(p[-1].power + 0.01, p[-2].perf, p[-1].n, p[-1].f, p[-1].v)
+    # the constructor would prune `bad` away; forge the broken frontier a
+    # buggy pruner could emit
+    broken = OperatingFrontier(p)
+    broken._points = list(p) + [bad]
+    broken._powers = [q.power for q in broken._points]
+    found = invariants(check_pareto_frontier(broken))
+    assert "pareto_improving" in found
+    assert "pareto_dominance" in found
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 allocation results
+# ----------------------------------------------------------------------
+def test_allocation_result_clean(sc1):
+    usage = desired_usage(sc1.event_demand, sc1.weight(), sc1.charging)
+    result = allocate(sc1.charging, usage, sc1.spec)
+    assert check_allocation_result(sc1.charging, result, sc1.spec) == []
+
+
+def test_allocation_result_flags_tampered_trajectory(sc1):
+    from repro.core.allocation import AllocationIteration, AllocationResult
+
+    usage = desired_usage(sc1.event_demand, sc1.weight(), sc1.charging)
+    result = allocate(sc1.charging, usage, sc1.spec)
+    tampered = result.trajectory.copy()
+    tampered[4] += 1.0
+    last = result.iterations[-1]
+    fake = AllocationResult(
+        iterations=[AllocationIteration(last.usage, tampered, last.check)],
+        feasible=result.feasible,
+        used_fallback=result.used_fallback,
+    )
+    assert "trajectory_consistency" in invariants(
+        check_allocation_result(sc1.charging, fake, sc1.spec)
+    )
+
+
+def test_allocation_result_flags_false_infeasibility(sc1):
+    from repro.core.allocation import AllocationResult
+
+    usage = desired_usage(sc1.event_demand, sc1.weight(), sc1.charging)
+    result = allocate(sc1.charging, usage, sc1.spec)
+    assert result.feasible
+    lying = AllocationResult(
+        iterations=result.iterations, feasible=False, used_fallback=False
+    )
+    assert "feasibility_flag" in invariants(
+        check_allocation_result(sc1.charging, lying, sc1.spec)
+    )
+
+
+def test_allocation_result_flags_band_escape(sc1, frontier):
+    usage = desired_usage(sc1.event_demand, sc1.weight(), sc1.charging)
+    result = allocate(sc1.charging, usage, sc1.spec)
+    ceiling = float(np.max(result.usage.values)) * 0.5
+    assert "usage_band" in invariants(
+        check_allocation_result(
+            sc1.charging, result, sc1.spec, usage_ceiling=ceiling
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# managed-run accounting + plan payloads
+# ----------------------------------------------------------------------
+def test_energy_run_clean_on_paper_scenarios(sc1, sc2, frontier):
+    for scenario in (sc1, sc2):
+        run = run_managed(scenario, frontier, supply_factor=0.9)
+        assert check_energy_run(run, scenario.spec, tau=scenario.grid.tau) == []
+
+
+def test_energy_run_flags_broken_conservation(sc1, frontier):
+    run = run_managed(sc1, frontier)
+    cooked = run.battery_level.copy()
+    cooked[-1] += 5.0  # energy appearing from nowhere
+    fake = run.__class__(
+        **{
+            **{f: getattr(run, f) for f in run.__dataclass_fields__},
+            "battery_level": cooked,
+        }
+    )
+    found = invariants(check_energy_run(fake, sc1.spec, tau=sc1.grid.tau))
+    assert "energy_conservation" in found or "battery_bounds" in found
+
+
+def _payload(**overrides):
+    request = PlanRequest("scenario1", supply_factor=0.9)
+    base = {
+        "scenario": "scenario1",
+        "policy": "proposed",
+        "n_periods": 2,
+        "supply_factor": 0.9,
+        "digest": request.digest(),
+        "wasted": 1.25,
+        "undersupplied": 0.0,
+        "utilization": 0.97,
+        "allocated_power": [0.5, 0.6],
+    }
+    base.update(overrides)
+    return base
+
+
+def test_plan_payload_clean():
+    assert check_plan_payload(_payload()) == []
+
+
+def test_plan_payload_flags_each_fault_class(frontier):
+    assert "payload_shape" in invariants(
+        check_plan_payload(_payload(n_periods="2"))
+    )
+    assert "payload_metrics" in invariants(
+        check_plan_payload(_payload(wasted=-3.0))
+    )
+    assert "payload_metrics" in invariants(
+        check_plan_payload(_payload(utilization=float("nan")))
+    )
+    assert "payload_digest" in invariants(
+        check_plan_payload(_payload(supply_factor=1.0))
+    )
+    assert "allocation_band" in invariants(
+        check_plan_payload(
+            _payload(allocated_power=[frontier.max_power * 2]), frontier=frontier
+        )
+    )
+    # nulls (plan-free policies serialize NaN slots as null) are fine
+    assert check_plan_payload(_payload(allocated_power=[None, 0.5])) == []
+
+
+# ----------------------------------------------------------------------
+# the composite + the session accumulator
+# ----------------------------------------------------------------------
+def test_verify_scenario_paper_clean(sc1, sc2, frontier):
+    for scenario in (sc1, sc2):
+        for supply_factor in (1.0, 0.9):
+            report = verify_scenario(scenario, frontier, supply_factor=supply_factor)
+            assert report.ok, [str(v) for v in report.violations]
+            assert report.checks_run >= 5
+
+
+def test_check_session_prefixes_context(battery_spec):
+    session = CheckSession()
+    session.push_context("case 7")
+    session.run(
+        check_battery_bounds, [battery_spec.c_max + 1.0], battery_spec
+    )
+    session.pop_context()
+    report = session.report()
+    assert report.checks_run == 1
+    assert not report.ok
+    assert "[case 7]" in report.violations[0].message
+
+
+def test_reports_add_and_serialize():
+    from repro.verify import VerificationReport, Violation
+
+    a = VerificationReport(2, (Violation("x", "boom"),))
+    b = VerificationReport(3)
+    total = a + b
+    assert total.checks_run == 5
+    assert len(total.violations) == 1
+    blob = total.as_dict()
+    assert blob["ok"] is False
+    assert blob["n_violations"] == 1
+    assert blob["violations"][0]["invariant"] == "x"

@@ -1,0 +1,80 @@
+"""Runtime check mode: the self-auditing engine and the payload verifier."""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import PlanRequest
+from repro.verify.runtime import CheckedSimulationEngine, RuntimeVerifier
+
+
+def test_checked_engine_is_a_clean_drop_in():
+    engine = CheckedSimulationEngine()
+    fired = []
+    engine.at(1.0, lambda: fired.append("a"))
+    engine.at(1.0, lambda: fired.append("b"))  # FIFO among equal times
+    event = engine.at(2.0, lambda: fired.append("never"))
+    engine.after(3.0, lambda: fired.append("c"))
+    engine.cancel(event)
+    engine.run_until(5.0)
+    assert fired == ["a", "b", "c"]
+    assert engine.now == 5.0
+    assert engine.violations == []
+    assert engine.checks > 0
+
+
+def test_checked_engine_catches_a_past_time_event():
+    engine = CheckedSimulationEngine()
+    engine.at(5.0, lambda: None)
+    engine.step()
+    # forge what a buggy scheduler could do: an entry behind the clock
+    seq = next(engine._seq)
+    heapq.heappush(engine._queue, (1.0, seq, lambda: None))
+    engine._queued.add(seq)
+    engine.step()
+    assert any(
+        v.invariant in ("engine_clock_monotone", "engine_fifo_order")
+        for v in engine.violations
+    )
+
+
+def test_checked_engine_catches_broken_cancel_bookkeeping():
+    engine = CheckedSimulationEngine()
+    engine.at(1.0, lambda: None)
+    engine._cancelled.add(12345)  # cancelled seq that was never queued
+    engine.step()
+    assert any(v.invariant == "engine_bookkeeping" for v in engine.violations)
+
+
+def test_runtime_verifier_counts_and_reports(frontier):
+    request = PlanRequest("scenario1", supply_factor=0.9)
+    payload = {
+        "scenario": "scenario1",
+        "policy": "proposed",
+        "n_periods": 2,
+        "supply_factor": 0.9,
+        "digest": request.digest(),
+        "wasted": 0.5,
+        "undersupplied": 0.0,
+        "utilization": 0.9,
+        "allocated_power": [0.5],
+    }
+    metrics = ServiceMetrics()
+    verifier = RuntimeVerifier(frontier=frontier, metrics=metrics)
+    assert verifier.check_payload(payload) == []
+    broken = {**payload, "wasted": -1.0}
+    violations = verifier.check_payload(broken)
+    assert violations
+    assert verifier.plans_checked == 2
+    assert verifier.violation_count == len(violations)
+    assert verifier.last_violation is violations[-1]
+    counters = metrics.snapshot()["counters"]
+    assert counters["verify_plans_checked"] == 2
+    assert counters["verify_violations"] == len(violations)
+    snap = verifier.snapshot()
+    assert snap == {
+        "enabled": True,
+        "plans_checked": 2,
+        "violations": len(violations),
+    }
