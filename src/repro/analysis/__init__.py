@@ -24,6 +24,7 @@ from .batch import (
     run_cell,
     run_grid,
 )
+from .supervisor import CellFailure, SupervisedExecutor
 from .sweep import SweepCell, sweep_knob, sweep_scenarios
 from .export import (
     allocation_table_csv,
@@ -70,6 +71,8 @@ __all__ = [
     "register_policy",
     "run_cell",
     "run_grid",
+    "CellFailure",
+    "SupervisedExecutor",
     "SeedSummary",
     "bootstrap_ci",
     "summarize_over_seeds",

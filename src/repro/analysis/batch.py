@@ -228,6 +228,9 @@ class SweepReport:
     n_workers: int  #: 0 for the serial path
     chunksize: int
     cache_enabled: bool
+    #: cells supervision gave up on (supervised parallel runs only); the
+    #: surviving ``outcomes`` are still complete and index-ordered
+    failures: tuple = ()
 
     @property
     def cells(self) -> list[SweepCell]:
@@ -256,6 +259,8 @@ class SweepReport:
         """JSON-serializable run report (the bench artifact's payload)."""
         return {
             "n_cells": len(self.outcomes),
+            "n_failures": len(self.failures),
+            "failures": [f.as_dict() for f in self.failures],
             "n_workers": self.n_workers,
             "chunksize": self.chunksize,
             "cache_enabled": self.cache_enabled,
@@ -300,6 +305,16 @@ def _init_worker(
     entries: list[tuple[tuple, AllocationResult]],
     cache_enabled: bool,
 ) -> None:
+    # Workers forked from a daemon inherit its Python-level signal
+    # handlers.  Running the parent's SIGTERM drain inside a worker is
+    # catastrophic: ``shutdown(2)`` on the *inherited* listener fd
+    # un-listens the shared socket for the parent too, and the worker
+    # wedges in drain logic so the pool can never join it.  Restore the
+    # default dispositions so ``Process.terminate()`` just kills workers.
+    import signal as _signal
+
+    _signal.signal(_signal.SIGTERM, _signal.SIG_DFL)
+    _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
     global _worker_frontier
     _worker_frontier = frontier
     set_allocation_cache_enabled(cache_enabled)
@@ -410,6 +425,22 @@ class CellExecutor:
         with self._outstanding_lock:
             self._outstanding -= 1
 
+    def worker_pids(self) -> tuple[int, ...]:
+        """Pids of the pool's live worker processes (empty in thread mode).
+
+        Reads ``ProcessPoolExecutor``'s internal process table — stable
+        across supported CPythons and the only way to target workers for
+        supervision (watchdog kills) and chaos injection.
+        """
+        if self._mode != "process" or self._closed:
+            return ()
+        processes = getattr(self._pool, "_processes", None)
+        if not processes:
+            return ()
+        return tuple(
+            p.pid for p in list(processes.values()) if p.pid is not None and p.is_alive()
+        )
+
     def warm(self, cells: Sequence[CellSpec]) -> int:
         """Pre-plan the cells' unique planning scenarios into this process's
         memo (thread mode: directly usable; process mode: call *before*
@@ -477,6 +508,7 @@ def run_grid(
     cache: bool = True,
     warm: bool = True,
     mp_context=None,
+    supervise: bool = True,
 ) -> SweepReport:
     """Evaluate a grid of cells, serially or across worker processes.
 
@@ -502,6 +534,14 @@ def run_grid(
         to the workers (parallel path only; no-op when ``cache`` is off).
     mp_context:
         Optional ``multiprocessing`` context (e.g. for spawn-vs-fork tests).
+    supervise:
+        Run the parallel path under a
+        :class:`~repro.analysis.supervisor.SupervisedExecutor`: a worker
+        crash (e.g. a cell calling ``os._exit``) costs only the poison
+        cell — reported in ``SweepReport.failures`` — instead of the whole
+        grid.  Supervised runs submit cells individually (no chunked
+        ``map``), so ``report.chunksize`` is 1.  ``supervise=False``
+        restores the bare chunked executor.
 
     Returns the :class:`SweepReport`; ``report.cells``/``report.rows()`` are
     bit-identical between serial and parallel runs of the same grid.
@@ -537,16 +577,33 @@ def run_grid(
             entries = allocation_cache_entries()
             warm_s = time.perf_counter() - t_warm
 
-        if chunksize is None:
-            chunksize = max(1, -(-len(cells) // (4 * n_workers)))
-        with CellExecutor(
-            frontier,
-            n_workers=n_workers,
-            cache=cache,
-            warm_entries=entries,
-            mp_context=mp_context,
-        ) as executor:
-            outcomes = executor.map_cells(cells, chunksize=chunksize)
+        failures: list = []
+        if supervise:
+            # Imported here: supervisor builds on this module's executor.
+            from .supervisor import CellFailure, SupervisedExecutor
+
+            chunksize = 1  # per-cell submission decouples cell fates
+            with SupervisedExecutor(
+                frontier,
+                n_workers=n_workers,
+                cache=cache,
+                warm_entries=entries,
+                mp_context=mp_context,
+            ) as executor:
+                results = executor.map_cells(cells)
+            outcomes = [r for r in results if not isinstance(r, CellFailure)]
+            failures = [r for r in results if isinstance(r, CellFailure)]
+        else:
+            if chunksize is None:
+                chunksize = max(1, -(-len(cells) // (4 * n_workers)))
+            with CellExecutor(
+                frontier,
+                n_workers=n_workers,
+                cache=cache,
+                warm_entries=entries,
+                mp_context=mp_context,
+            ) as executor:
+                outcomes = executor.map_cells(cells, chunksize=chunksize)
     finally:
         set_allocation_cache_enabled(previous_cache)
 
@@ -559,6 +616,7 @@ def run_grid(
         n_workers=n_workers,
         chunksize=chunksize,
         cache_enabled=cache,
+        failures=tuple(sorted(failures, key=lambda f: f.index)),
     )
 
 

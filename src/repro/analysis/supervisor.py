@@ -1,0 +1,761 @@
+"""Supervised cell execution: crash-proofing the shared worker pool.
+
+A single worker that dies (``os._exit``, OOM-kill, SIGKILL, a segfaulting
+extension) breaks the whole ``ProcessPoolExecutor`` — every in-flight
+future fails with ``BrokenProcessPool`` and the pool is unusable until
+rebuilt.  For a one-shot script that is an annoyance; for the resident
+plan daemon it takes down every request in flight.  This module wraps
+:class:`~repro.analysis.batch.CellExecutor` in the supervision loop the
+paper applies to power itself — degrade and recover, never fall over:
+
+* **Pool rebuild** — a dedicated supervision thread swaps in a fresh
+  ``CellExecutor`` (warm-started from the parent's allocation memo)
+  after a break.  The rebuild never runs on the broken pool's own
+  management thread: forking a new pool from inside the dying pool's
+  teardown is how fd and signal state gets corrupted.
+* **Probation** — a pool break fails *every* in-flight future at once,
+  so the break cannot be blamed on any one cell.  Interrupted cells are
+  therefore resubmitted through a one-at-a-time probation queue: a cell
+  that breaks the pool while running **alone** is guilty beyond doubt.
+  Blameless probation passes consume no retry budget.
+* **Blame and retry budget** — a guilty execution (sole in-flight cell
+  at the break, or a watchdog-timed-out cell) increments the cell's
+  suspect count and consumes one of ``max_retries`` retries.  A
+  successful completion exonerates the cell entirely.
+* **Watchdog** — a daemon thread times out cells that have been
+  *running* longer than ``cell_timeout_s``: it SIGKILLs the pool's
+  workers, which surfaces as a pool break; the timed-out cell is blamed
+  directly (process mode only — an in-process cell cannot be killed
+  without taking the daemon with it).
+* **Quarantine** — after ``quarantine_threshold`` guilty interruptions
+  a cell is *poison*: it — and any identical future submission —
+  resolves to a structured :class:`CellFailure` instead of eating the
+  pool again.
+
+Every supervision event lands in the counters (and, when a
+``metrics`` registry is supplied, in it too): ``pool_rebuilds``,
+``cells_resubmitted``, ``cells_quarantined``, ``cell_timeouts``,
+``cell_failures``, ``workers_killed``.
+
+Failure contract
+----------------
+:meth:`SupervisedExecutor.submit` returns a future that resolves to a
+:class:`~repro.analysis.batch.CellOutcome` on success or a
+:class:`CellFailure` when supervision gave up (crash/hang retries
+exhausted, or the cell is quarantined).  Deterministic cell errors — a
+policy raising ``ValueError`` on bad inputs — are *not* supervision's
+business and propagate as exceptions, exactly as the bare executor
+would raise them.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.allocation import allocation_cache_entries
+from .batch import CellExecutor, CellOutcome, CellSpec
+
+__all__ = ["CellFailure", "SupervisedExecutor"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Terminal, structured failure of one supervised cell.
+
+    Returned (not raised) by supervised futures so batch callers can keep
+    the surviving cells and report the casualties.
+    """
+
+    index: int  #: position in the submitted grid
+    scenario: str
+    policy: str
+    knob: object
+    reason: str  #: ``"crash"`` | ``"timeout"`` | ``"quarantined"``
+    attempts: int  #: executions that were tried (first submission included)
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "knob": self.knob if isinstance(self.knob, (int, float, str, type(None))) else repr(self.knob),
+            "reason": self.reason,
+            "attempts": self.attempts,
+            "message": self.message,
+        }
+
+
+#: Counter names the supervisor maintains (all start at 0).
+SUPERVISOR_COUNTERS = (
+    "pool_rebuilds",
+    "cells_resubmitted",
+    "cells_quarantined",
+    "cell_timeouts",
+    "cell_failures",
+    "workers_killed",
+)
+
+
+class _Task:
+    """One supervised cell: its spec plus retry/suspect bookkeeping."""
+
+    __slots__ = (
+        "key",
+        "spec",
+        "index",
+        "public",
+        "inner",
+        "attempts",
+        "timeout_killed",
+        "never_started",
+        "running_since",
+        "generation",
+        "cancelled_by_caller",
+    )
+
+    def __init__(self, key: object, spec: CellSpec, index: int, generation: int):
+        self.key = key
+        self.spec = spec
+        self.index = index
+        self.public: "_SupervisedFuture | None" = None
+        self.inner: "Future | None" = None
+        self.attempts = 1  # executions tried so far (this submission included)
+        self.timeout_killed = False
+        self.never_started = False  # last interruption predates any execution
+        self.running_since: "float | None" = None
+        self.generation = generation
+        self.cancelled_by_caller = False
+
+
+class _SupervisedFuture(Future):
+    """Public future whose ``cancel()`` is honest about supervised work.
+
+    A vanilla ``Future`` that nobody marks running is always cancellable —
+    which would let a deadline-expired waiter "cancel" a cell that is in
+    fact executing.  This subclass only reports success when the current
+    inner future could actually be cancelled (or the cell is merely
+    queued inside the supervisor and can be dropped before it runs).
+    """
+
+    def __init__(self, supervisor: "SupervisedExecutor"):
+        super().__init__()
+        self._supervisor: "SupervisedExecutor | None" = supervisor
+        self._task: "_Task | None" = None
+
+    def cancel(self) -> bool:  # noqa: D102 - see class docstring
+        supervisor = self._supervisor
+        if supervisor is None:
+            return super().cancel()
+        with supervisor._cond:
+            task = self._task
+            if task is None:
+                return super().cancel()
+            inner = task.inner
+            if inner is None:
+                # Queued inside the supervisor (deferred or probation):
+                # mark it so the supervision thread skips it, and drop it.
+                task.cancelled_by_caller = True
+                supervisor._tasks.pop(id(task), None)
+                return super().cancel()
+            # Mark intent *before* attempting, so a successful cancel's
+            # inline done-callback sees a caller-initiated cancellation,
+            # not a pool interruption to recover from.
+            task.cancelled_by_caller = True
+        # The attempt must happen OUTSIDE the lock: cancelling a queued
+        # future runs its done callbacks inline on this thread, and
+        # _on_inner_done takes the (non-reentrant) lock itself.
+        inner_cancelled = inner.cancel()
+        with supervisor._cond:
+            if inner_cancelled:
+                supervisor._tasks.pop(id(task), None)
+                supervisor._live.discard(id(task))
+            else:
+                # The cell is (or was) actually running; the inner future
+                # resolves normally and _on_inner_done — which only honours
+                # the flag for *cancelled* futures — delivers its outcome.
+                task.cancelled_by_caller = False
+        if inner_cancelled:
+            return super().cancel()
+        return False
+
+    def _force_cancel(self) -> None:
+        """Cancel unconditionally (supervisor shutdown path)."""
+        self._supervisor = None
+        super().cancel()
+
+
+class SupervisedExecutor:
+    """A :class:`~repro.analysis.batch.CellExecutor` that survives its pool.
+
+    Drop-in for the daemon and the grid runner: same ``submit``/
+    ``map_cells``/``shutdown`` surface, same thread-vs-process modes, plus
+    the rebuild/probation/watchdog/quarantine loop described in the module
+    docstring.  Thread mode (``n_workers <= 1``) cannot crash the pool,
+    so supervision there is a transparent passthrough.
+    """
+
+    def __init__(
+        self,
+        frontier=None,
+        *,
+        n_workers: int = 0,
+        cache: bool = True,
+        warm_entries=None,
+        mp_context=None,
+        max_retries: int = 2,
+        cell_timeout_s: "float | None" = None,
+        quarantine_threshold: int = 3,
+        watchdog_interval_s: float = 0.05,
+        metrics=None,
+    ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if quarantine_threshold < 1:
+            raise ValueError(
+                f"quarantine_threshold must be >= 1, got {quarantine_threshold}"
+            )
+        if cell_timeout_s is not None and cell_timeout_s <= 0:
+            cell_timeout_s = None
+        self.frontier = frontier
+        self.n_workers = max(0, int(n_workers))
+        self.cache = bool(cache)
+        self.max_retries = int(max_retries)
+        self.cell_timeout_s = cell_timeout_s
+        self.quarantine_threshold = int(quarantine_threshold)
+        self.watchdog_interval_s = float(watchdog_interval_s)
+        self._mp_context = mp_context
+        self._metrics = metrics
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._inner = CellExecutor(
+            frontier,
+            n_workers=n_workers,
+            cache=cache,
+            warm_entries=warm_entries,
+            mp_context=mp_context,
+        )
+        self._generation = 0
+        self._tasks: "dict[int, _Task]" = {}  # every unresolved task
+        self._live: "set[int]" = set()  # task ids submitted to the pool
+        self._interrupted: "list[_Task]" = []  # awaiting supervision verdict
+        self._probation: "deque[_Task]" = deque()  # re-run one at a time
+        self._deferred: "deque[_Task]" = deque()  # held during recovery
+        self._recovering = False
+        self._suspects: "dict[object, int]" = {}
+        self._quarantined: "set[object]" = set()
+        self._counters: "dict[str, int]" = {name: 0 for name in SUPERVISOR_COUNTERS}
+        self._last_break_monotonic: "float | None" = None
+        self._rebuilding = False
+        self._closed = False
+
+        self._supervisor_thread: "threading.Thread | None" = None
+        if self._inner.mode == "process":
+            self._supervisor_thread = threading.Thread(
+                target=self._supervisor_loop, name="cell-supervisor", daemon=True
+            )
+            self._supervisor_thread.start()
+
+        self._watchdog: "threading.Thread | None" = None
+        self._watchdog_stop = threading.Event()
+        if self.cell_timeout_s is not None and self._inner.mode == "process":
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name="cell-watchdog", daemon=True
+            )
+            self._watchdog.start()
+
+    # ------------------------------------------------------------------
+    # introspection (the daemon's status RPC reads these)
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        return "thread" if self.n_workers <= 1 else "process"
+
+    @property
+    def queue_depth(self) -> int:
+        """Supervised cells not yet resolved (queued, running, or retrying)."""
+        with self._lock:
+            return len(self._tasks)
+
+    @property
+    def rebuilding(self) -> bool:
+        """True while a replacement pool is being constructed."""
+        return self._rebuilding
+
+    def last_break_age_s(self) -> "float | None":
+        """Seconds since the last pool break (None if it never broke)."""
+        last = self._last_break_monotonic
+        return None if last is None else time.monotonic() - last
+
+    def counters(self) -> dict:
+        with self._lock:
+            out = dict(self._counters)
+            out["quarantined_cells"] = len(self._quarantined)
+            out["generation"] = self._generation
+        return out
+
+    def worker_pids(self) -> "tuple[int, ...]":
+        """Live worker process ids (process mode; empty in thread mode)."""
+        with self._lock:
+            return self._inner.worker_pids()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _spec_key(spec: CellSpec) -> object:
+        try:
+            hash(spec)
+            return spec
+        except TypeError:  # unhashable knob — fall back to its repr
+            return repr(spec)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        # Caller holds self._lock.
+        self._counters[name] = self._counters.get(name, 0) + amount
+        if self._metrics is not None:
+            self._metrics.inc(name, amount)
+
+    def submit(self, spec: CellSpec, *, index: int = 0) -> "Future":
+        """Schedule one supervised cell.
+
+        The future resolves to a :class:`~repro.analysis.batch.CellOutcome`
+        or — when supervision gave up on the cell — a :class:`CellFailure`.
+        """
+        public = _SupervisedFuture(self)
+        key = self._spec_key(spec)
+        failure: "CellFailure | None" = None
+        inner: "Future | None" = None
+        task: "_Task | None" = None
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("executor is shut down")
+            if key in self._quarantined:
+                failure = CellFailure(
+                    index=index,
+                    scenario=spec.scenario.name,
+                    policy=spec.policy,
+                    knob=spec.knob,
+                    reason="quarantined",
+                    attempts=0,
+                    message=(
+                        "cell is quarantined: previous executions repeatedly "
+                        "crashed or hung the worker pool"
+                    ),
+                )
+            else:
+                task = _Task(key, spec, index, self._generation)
+                task.public = public
+                public._task = task
+                self._tasks[id(task)] = task
+                if self._recovering:
+                    # A break is being handled: hold the cell until the
+                    # probation queue drains, then it rides the flush.
+                    self._deferred.append(task)
+                    self._cond.notify_all()
+                else:
+                    inner = self._start_task_locked(task)
+        if failure is not None:
+            public.set_result(failure)
+            return public
+        if inner is not None:
+            inner.add_done_callback(lambda fut, t=task: self._on_inner_done(t, fut))
+        return public
+
+    def _start_task_locked(self, task: _Task) -> "Future | None":
+        """Submit one task to the current pool (caller holds the lock).
+
+        Returns the inner future — the **caller must attach the done
+        callback after releasing the lock** (an already-finished future
+        runs callbacks inline, which would deadlock under the lock).  A
+        pool broken at submit time routes the task into recovery and
+        returns None; the task never ran, so the interruption is
+        blameless.
+        """
+        task.generation = self._generation
+        task.running_since = None
+        try:
+            task.inner = self._inner.submit(task.spec, index=task.index)
+        except (BrokenProcessPool, RuntimeError):
+            if self._closed:
+                raise
+            task.inner = None
+            task.never_started = True
+            self._recovering = True
+            self._interrupted.append(task)
+            self._cond.notify_all()
+            return None
+        task.never_started = False
+        self._live.add(id(task))
+        return task.inner
+
+    def map_cells(
+        self, cells: Sequence[CellSpec], *, chunksize: int = 1
+    ) -> "list[CellOutcome | CellFailure]":
+        """Evaluate a whole grid under supervision, preserving order.
+
+        Unlike the bare executor's chunked ``map``, cells are submitted
+        individually so one poison cell can only take down the attempts
+        sharing its pool incarnation — siblings are re-verified under
+        probation and the poison cell alone comes back as a
+        :class:`CellFailure`.
+        """
+        del chunksize  # per-cell submission: chunking would couple fates
+        futures = [self.submit(spec, index=i) for i, spec in enumerate(cells)]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # inner-future resolution (runs on arbitrary threads, including the
+    # broken pool's own management thread — must never build or tear
+    # down pools here, only record state and wake the supervisor)
+    # ------------------------------------------------------------------
+    def _on_inner_done(self, task: _Task, fut: "Future") -> None:
+        force_cancel = False
+        with self._cond:
+            if fut is not task.inner:
+                return  # superseded by a resubmission
+            self._live.discard(id(task))
+            if task.cancelled_by_caller and fut.cancelled():
+                # Caller-initiated: the public future is (being) cancelled
+                # by its waiter; nothing to recover.  A set flag on a fut
+                # that *completed* anyway means the cancel attempt lost the
+                # race — fall through and deliver the outcome normally.
+                self._tasks.pop(id(task), None)
+                self._cond.notify_all()
+                return
+            if self._closed:
+                self._tasks.pop(id(task), None)
+                self._cond.notify_all()
+                force_cancel = True
+            elif fut.cancelled():
+                # Cancelled by a pool teardown: it never ran — blameless.
+                task.inner = None
+                task.never_started = True
+                self._recovering = True
+                self._interrupted.append(task)
+                self._cond.notify_all()
+                return
+        if force_cancel:
+            if task.public is not None:
+                task.public._force_cancel()
+            return
+        exc = fut.exception()
+        if exc is None:
+            outcome = fut.result()
+            with self._cond:
+                self._tasks.pop(id(task), None)
+                self._suspects.pop(task.key, None)  # exonerated
+                self._cond.notify_all()
+            if task.public is not None:
+                task.public.set_result(outcome)
+            return
+        if isinstance(exc, BrokenProcessPool):
+            with self._cond:
+                task.inner = None
+                self._recovering = True
+                self._interrupted.append(task)
+                self._cond.notify_all()
+            return
+        # Deterministic cell error — not supervision's business.
+        with self._cond:
+            self._tasks.pop(id(task), None)
+            self._cond.notify_all()
+        if task.public is not None:
+            task.public.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # the supervision thread
+    # ------------------------------------------------------------------
+    def _need_action_locked(self) -> bool:
+        if self._closed:
+            return True
+        if self._live:
+            return False  # wait for the pool's verdict on in-flight cells
+        if self._interrupted:
+            return True  # a complete interruption batch is ready
+        return self._recovering  # probation slot free / recovery finishing
+
+    def _supervisor_loop(self) -> None:
+        while True:
+            resolutions: "list[tuple[_Task, CellFailure]]" = []
+            attach: "list[_Task]" = []
+            errored: "list[tuple[_Task, BaseException]]" = []
+            with self._cond:
+                while not self._need_action_locked():
+                    self._cond.wait()
+                if self._closed:
+                    return
+                if self._interrupted:
+                    # A pool break fails every in-flight future, so the
+                    # batch is complete once nothing is live.  Blame is
+                    # only possible when a cell was provably alone.
+                    batch = [
+                        t for t in self._interrupted if not t.cancelled_by_caller
+                    ]
+                    self._interrupted.clear()
+                    try:
+                        self._rebuild_locked()
+                    except Exception as exc:  # pragma: no cover - defensive
+                        logger.exception("pool rebuild failed")
+                        for task in batch:
+                            self._count("cell_failures")
+                            self._tasks.pop(id(task), None)
+                            resolutions.append(
+                                (
+                                    task,
+                                    self._failure(
+                                        task, "crash", f"pool rebuild failed: {exc}"
+                                    ),
+                                )
+                            )
+                        batch = []
+                    ran = [t for t in batch if not t.never_started]
+                    for task in batch:
+                        self._route_interrupted_locked(
+                            task, sole=(len(ran) == 1), resolutions=resolutions
+                        )
+                elif self._probation:
+                    task = None
+                    while self._probation:
+                        candidate = self._probation.popleft()
+                        if not candidate.cancelled_by_caller:
+                            task = candidate
+                            break
+                    if task is not None:
+                        self._count("cells_resubmitted")
+                        try:
+                            started = self._start_task_locked(task)
+                        except Exception as exc:
+                            self._tasks.pop(id(task), None)
+                            errored.append((task, exc))
+                        else:
+                            if started is not None:
+                                attach.append(task)
+                else:
+                    # Probation drained: recovery is over — release the
+                    # cells held while the pool was being verified.
+                    self._recovering = False
+                    while self._deferred and not self._recovering:
+                        pending = self._deferred.popleft()
+                        if pending.cancelled_by_caller:
+                            continue
+                        try:
+                            started = self._start_task_locked(pending)
+                        except Exception as exc:
+                            # Deterministic submit error (e.g. bad spec)
+                            # surfacing only now because the original
+                            # submit was deferred during recovery.
+                            self._tasks.pop(id(pending), None)
+                            errored.append((pending, exc))
+                        else:
+                            if started is not None:
+                                attach.append(pending)
+            for task in attach:
+                assert task.inner is not None
+                task.inner.add_done_callback(
+                    lambda fut, t=task: self._on_inner_done(t, fut)
+                )
+            for task, exc in errored:
+                if task.public is not None and not task.public.done():
+                    task.public.set_exception(exc)
+            for task, failure in resolutions:
+                logger.warning(
+                    "supervised cell failed: %s/%s (%s after %d attempt(s))",
+                    failure.scenario,
+                    failure.policy,
+                    failure.reason,
+                    failure.attempts,
+                )
+                if task.public is not None:
+                    task.public.set_result(failure)
+
+    def _route_interrupted_locked(
+        self,
+        task: _Task,
+        *,
+        sole: bool,
+        resolutions: "list[tuple[_Task, CellFailure]]",
+    ) -> None:
+        """Decide one interrupted task's fate: blame it (sole in-flight
+        cell at the break, or watchdog-timed-out), or send it to
+        blameless probation."""
+        blamed = task.timeout_killed or (sole and not task.never_started)
+        if not blamed:
+            self._probation.append(task)
+            return
+        count = self._suspects.get(task.key, 0) + 1
+        self._suspects[task.key] = count
+        reason = "timeout" if task.timeout_killed else "crash"
+        if count >= self.quarantine_threshold:
+            self._quarantined.add(task.key)
+            self._count("cells_quarantined")
+            self._count("cell_failures")
+            self._tasks.pop(id(task), None)
+            resolutions.append(
+                (
+                    task,
+                    self._failure(
+                        task,
+                        "quarantined",
+                        f"{count} guilty interruption(s) of the worker pool "
+                        f"(last: {reason}); cell quarantined",
+                    ),
+                )
+            )
+        elif task.attempts > self.max_retries:
+            self._count("cell_failures")
+            self._tasks.pop(id(task), None)
+            resolutions.append(
+                (
+                    task,
+                    self._failure(
+                        task,
+                        reason,
+                        f"{task.attempts} execution(s) interrupted the "
+                        "worker pool; retry budget exhausted",
+                    ),
+                )
+            )
+        else:
+            task.attempts += 1
+            task.timeout_killed = False
+            self._probation.append(task)
+
+    @staticmethod
+    def _failure(task: _Task, reason: str, message: str) -> CellFailure:
+        return CellFailure(
+            index=task.index,
+            scenario=task.spec.scenario.name,
+            policy=task.spec.policy,
+            knob=task.spec.knob,
+            reason=reason,
+            attempts=task.attempts,
+            message=message,
+        )
+
+    def _rebuild_locked(self) -> None:
+        """Swap in a fresh pool (supervision thread only, holding the lock)."""
+        old = self._inner
+        self._generation += 1
+        self._count("pool_rebuilds")
+        self._last_break_monotonic = time.monotonic()
+        self._rebuilding = True
+        try:
+            warm = allocation_cache_entries() if self.cache else []
+            self._inner = CellExecutor(
+                self.frontier,
+                n_workers=self.n_workers,
+                cache=self.cache,
+                warm_entries=warm,
+                mp_context=self._mp_context,
+            )
+        finally:
+            self._rebuilding = False
+        logger.warning(
+            "worker pool rebuilt (generation %d, %d workers)",
+            self._generation,
+            self.n_workers,
+        )
+        # Torn down off-thread: cancelling any straggler queued futures
+        # runs their done callbacks inline, and those callbacks take the
+        # lock this thread is holding.
+        def _teardown(executor=old):
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+        threading.Thread(
+            target=_teardown, name="pool-teardown", daemon=True
+        ).start()
+
+    # ------------------------------------------------------------------
+    # the watchdog
+    # ------------------------------------------------------------------
+    def _watchdog_loop(self) -> None:
+        while not self._watchdog_stop.wait(self.watchdog_interval_s):
+            now = time.monotonic()
+            pids: "tuple[int, ...]" = ()
+            with self._lock:
+                if self._closed:
+                    return
+                timed_out = []
+                for task in self._tasks.values():
+                    fut = task.inner
+                    if fut is None or fut.done() or not fut.running():
+                        continue
+                    if task.running_since is None:
+                        task.running_since = now
+                    elif (
+                        now - task.running_since > self.cell_timeout_s
+                        and not task.timeout_killed
+                    ):
+                        timed_out.append(task)
+                if timed_out:
+                    for task in timed_out:
+                        task.timeout_killed = True
+                        self._count("cell_timeouts")
+                        logger.warning(
+                            "cell %s/%s exceeded cell_timeout_s=%.3g; "
+                            "killing pool workers",
+                            task.spec.scenario.name,
+                            task.spec.policy,
+                            self.cell_timeout_s,
+                        )
+                    pids = self._inner.worker_pids()
+            for pid in pids:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError, OSError):
+                    continue
+                with self._lock:
+                    self._count("workers_killed")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, *, wait: bool = True, cancel_futures: bool = False) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            inner = self._inner
+            self._cond.notify_all()
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=2.0)
+        if self._supervisor_thread is not None:
+            self._supervisor_thread.join(timeout=5.0)
+        inner.shutdown(wait=wait, cancel_futures=cancel_futures)
+        # Any tasks whose futures were cancelled by the teardown resolve
+        # via _on_inner_done; sweep up stragglers (deferred, probation,
+        # or interrupted cells the supervisor never got to) so no caller
+        # hangs.
+        with self._cond:
+            leftovers = list(self._tasks.values())
+            self._tasks.clear()
+            self._live.clear()
+            self._interrupted.clear()
+            self._probation.clear()
+            self._deferred.clear()
+        for task in leftovers:
+            if task.public is not None and not task.public.done():
+                task.public._force_cancel()
+
+    def __enter__(self) -> "SupervisedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -24,6 +24,11 @@ Usage::
                                       # paper-invariant oracle + differential
                                       # checks + fuzzers (docs/VERIFY.md);
                                       # exits nonzero on any violation
+    python -m repro chaos [--seed N] [--duration S]
+                                      # seeded fault injection against a live
+                                      # fleet (docs/OPERATIONS.md); exits
+                                      # nonzero unless the stack absorbed
+                                      # every fault with zero failed requests
 
 Every subcommand accepts ``--log-level``; planner or simulation failures
 exit nonzero with a one-line error instead of a traceback.  ``client``
@@ -165,6 +170,19 @@ def _run_sweep(args) -> str:
     return table + "\n" + footer
 
 
+def _install_thread_dump_handler() -> None:
+    """SIGUSR1 → dump every thread's stack to stderr (live diagnosis of a
+    wedged daemon — see docs/OPERATIONS.md).  No-op where unsupported."""
+    import faulthandler
+    import signal as _signal
+
+    if hasattr(_signal, "SIGUSR1"):
+        try:
+            faulthandler.register(_signal.SIGUSR1, all_threads=True)
+        except (ValueError, RuntimeError):  # non-main thread / exotic platform
+            pass
+
+
 def _serve_main(argv: list[str]) -> int:
     """The ``serve`` subcommand: run the plan-serving daemon until SIGTERM."""
     from .service.server import PlanServer, ServerConfig
@@ -214,9 +232,56 @@ def _serve_main(argv: list[str]) -> int:
             "oracle; violations are logged and surfaced in status (docs/VERIFY.md)"
         ),
     )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=0.0, metavar="S",
+        help=(
+            "supervision watchdog: kill and retry cells running longer than "
+            "this (process mode only; 0 disables, default 0)"
+        ),
+    )
+    parser.add_argument(
+        "--max-cell-retries", type=int, default=2, metavar="N",
+        help="resubmissions per cell after a worker-pool break (default 2)",
+    )
+    parser.add_argument(
+        "--quarantine-threshold", type=int, default=3, metavar="N",
+        help=(
+            "consecutive pool-breaking executions before a cell is "
+            "quarantined (default 3)"
+        ),
+    )
+    parser.add_argument(
+        "--degraded-grace", type=float, default=5.0, metavar="S",
+        help=(
+            "serve stale cached plans (degraded mode) this long after a "
+            "worker-pool break (default 5)"
+        ),
+    )
+    parser.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help=(
+            "crash-safe plan-cache snapshot file: loaded at start, written "
+            "atomically on a cadence and at drain (docs/OPERATIONS.md)"
+        ),
+    )
+    parser.add_argument(
+        "--snapshot-interval", type=float, default=30.0, metavar="S",
+        help="periodic snapshot cadence; 0 = only at drain (default 30)",
+    )
+    parser.add_argument(
+        "--chaos-policies", action="store_true",
+        help=(
+            "register the fault-injection policies (chaos_hang, chaos_exit) "
+            "used by `repro chaos` — never enable in production"
+        ),
+    )
     _add_log_level(parser)
     args = parser.parse_args(argv)
     _configure_logging(args.log_level)
+    if args.chaos_policies:
+        from .verify.chaos import register_chaos_policies
+
+        register_chaos_policies()
     config = ServerConfig(
         address=args.socket,
         n_workers=args.workers,
@@ -227,14 +292,26 @@ def _serve_main(argv: list[str]) -> int:
         metrics_interval_s=args.metrics_interval,
         alloc_memo_size=args.alloc_memo_size,
         verify=args.verify,
+        cell_timeout_s=args.cell_timeout if args.cell_timeout > 0 else None,
+        max_cell_retries=args.max_cell_retries,
+        quarantine_threshold=args.quarantine_threshold,
+        degraded_grace_s=args.degraded_grace,
+        snapshot_path=args.snapshot,
+        snapshot_interval_s=args.snapshot_interval,
     )
     server = PlanServer(config)
     try:
         server.start()
-    except (OSError, RuntimeError, ValueError) as exc:
+    except OSError as exc:
+        # Bind failures (port in use, bad path) are transport problems:
+        # one line, exit 3, no traceback — wrappers can tell them apart.
+        print(f"error: cannot bind {args.socket}: {exc}", file=sys.stderr)
+        return EXIT_TRANSPORT
+    except (RuntimeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     server.install_signal_handlers()
+    _install_thread_dump_handler()
     print(f"serving on {server.endpoint} (SIGTERM to drain)", flush=True)
     server.serve_forever()
     return 0
@@ -392,6 +469,34 @@ def _fleet_main(argv: list[str]) -> int:
         "--drain-timeout", type=float, default=10.0, metavar="S",
         help="bound on the SIGTERM drain (default 10)",
     )
+    parser.add_argument(
+        "--no-supervise", action="store_true",
+        help="do not liveness-poll/restart crashed spawned backends",
+    )
+    parser.add_argument(
+        "--supervise-interval", type=float, default=0.5, metavar="S",
+        help="backend liveness-poll cadence (default 0.5)",
+    )
+    parser.add_argument(
+        "--restart-backoff", type=float, default=0.5, metavar="S",
+        help="base of the capped exponential restart backoff (default 0.5)",
+    )
+    parser.add_argument(
+        "--restart-budget", type=int, default=5, metavar="N",
+        help="restarts per backend before giving up on it (default 5)",
+    )
+    parser.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="per-backend plan-cache snapshot directory (backend-N.json)",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=0.0, metavar="S",
+        help="per-backend hung-cell watchdog timeout; 0 disables (default 0)",
+    )
+    parser.add_argument(
+        "--chaos-policies", action="store_true",
+        help="pass --chaos-policies to every spawned backend (chaos harness)",
+    )
     _add_log_level(parser)
     args = parser.parse_args(argv)
     _configure_logging(args.log_level)
@@ -405,6 +510,11 @@ def _fleet_main(argv: list[str]) -> int:
     if args.backends > 0 and socket_dir is None:
         socket_dir_ctx = tempfile.TemporaryDirectory(prefix="repro-fleet-")
         socket_dir = socket_dir_ctx.name
+    extra_serve_args: "list[str]" = []
+    if args.cell_timeout > 0:
+        extra_serve_args += ["--cell-timeout", str(args.cell_timeout)]
+    if args.chaos_policies:
+        extra_serve_args.append("--chaos-policies")
     launcher = FleetLauncher(
         n_backends=max(0, args.backends),
         socket_dir=socket_dir,
@@ -412,6 +522,11 @@ def _fleet_main(argv: list[str]) -> int:
         n_workers=args.workers,
         max_pending=args.max_pending,
         log_level=args.log_level,
+        extra_serve_args=extra_serve_args,
+        snapshot_dir=args.snapshot_dir,
+        supervise_interval_s=args.supervise_interval,
+        restart_backoff_s=args.restart_backoff,
+        restart_budget=args.restart_budget,
     )
     try:
         try:
@@ -433,10 +548,18 @@ def _fleet_main(argv: list[str]) -> int:
         )
         try:
             gateway.start()
-        except (OSError, RuntimeError, ValueError) as exc:
+        except OSError as exc:
+            print(f"error: cannot bind {args.socket}: {exc}", file=sys.stderr)
+            launcher.terminate()
+            return EXIT_TRANSPORT
+        except (RuntimeError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             launcher.terminate()
             return 1
+        if not args.no_supervise:
+            launcher.start_supervision(
+                lambda backend: gateway.notify_backend_restarted(backend.address)
+            )
 
         drained = threading.Event()
 
@@ -454,6 +577,7 @@ def _fleet_main(argv: list[str]) -> int:
 
         _signal.signal(_signal.SIGTERM, _handler)
         _signal.signal(_signal.SIGINT, _handler)
+        _install_thread_dump_handler()
         for backend in launcher.backends:
             role = "spawned" if backend.spawned else "attached"
             pid = f" pid={backend.pid}" if backend.pid else ""
@@ -469,6 +593,76 @@ def _fleet_main(argv: list[str]) -> int:
     finally:
         if socket_dir_ctx is not None:
             socket_dir_ctx.cleanup()
+
+
+def _chaos_main(argv: list[str]) -> int:
+    """The ``chaos`` subcommand: seeded fault injection against a live fleet.
+
+    Exit 0 only when the run is clean — zero failed client requests, zero
+    oracle violations, and the injected faults demonstrably exercised the
+    supervision/degradation machinery (nonzero rebuild/restart/degraded
+    counters).  Same ``--seed`` → same injection schedule.
+    """
+    import json as _json
+
+    from .verify.chaos import ChaosConfig, run_chaos
+
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description=(
+            "Stand up a real fleet, attack it on a seeded schedule (worker "
+            "SIGKILLs, hung cells, backend kills, snapshot corruption), and "
+            "assert zero failed client requests and oracle-clean plans."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="injection-schedule seed (default 0)")
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="attack-window length in seconds (default 20)")
+    parser.add_argument("--backends", type=int, default=2,
+                        help="backend daemons to spawn (default 2)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="pool workers per backend (default 2, min 2)")
+    parser.add_argument("--clients", type=int, default=3,
+                        help="concurrent client threads (default 3)")
+    parser.add_argument("--socket-dir", default=None,
+                        help="directory for sockets/snapshots (default: tempdir)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the full report as JSON to PATH")
+    parser.add_argument("--log-level", default="warning",
+                        choices=("debug", "info", "warning", "error"))
+    args = parser.parse_args(argv)
+
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
+    config = ChaosConfig(
+        seed=args.seed,
+        duration_s=args.duration,
+        n_backends=args.backends,
+        n_workers=args.workers,
+        n_clients=args.clients,
+        socket_dir=args.socket_dir,
+        log_level=args.log_level,
+    )
+    try:
+        report = run_chaos(config)
+    except (OSError, TimeoutError, ValueError) as exc:
+        print(f"error: chaos harness could not start: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    for note in report.injections_done:
+        print(f"  injected: {note}")
+    print(report.summary())
+    if not report.ok:
+        for reason in report.reasons:
+            print(f"  FAIL: {reason}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _verify_main(argv: list[str]) -> int:
@@ -682,6 +876,8 @@ def main(argv: list[str] | None = None) -> int:
         return _fleet_main(argv[1:])
     if argv and argv[0] == "verify":
         return _verify_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-dpm",
         description=(

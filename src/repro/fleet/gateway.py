@@ -32,6 +32,7 @@ all; everything else is the replica's own answer, passed through.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import logging
 import os
@@ -184,7 +185,11 @@ class PlanGateway:
                 except OSError:
                     os.unlink(path)  # stale socket from a dead gateway
                 else:
-                    raise RuntimeError(f"address {path!r} already has a live server")
+                    # Same error type a TCP bind collision raises.
+                    raise OSError(
+                        errno.EADDRINUSE,
+                        f"address {path!r} already has a live server",
+                    )
                 finally:
                     probe.close()
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -381,6 +386,23 @@ class PlanGateway:
             "bad_request",
             f"unknown op {op!r}; known: plan, sweep, status, ping, shutdown",
         )
+
+    # ------------------------------------------------------------------
+    # supervision hooks
+    # ------------------------------------------------------------------
+    def notify_backend_restarted(self, address: str) -> None:
+        """Re-register a restarted backend (the fleet launcher's
+        ``on_restart`` hook): force-close its circuit breaker, forget its
+        stale health view, and drop pooled sockets that still point at the
+        dead process — so traffic returns on the next request instead of
+        after the breaker's reset window."""
+        if address not in self._monitor.addresses:
+            logger.warning("restart notification for unknown backend %s", address)
+            return
+        self._monitor.notify_restarted(address)
+        self._pools.discard_idle(address)
+        self.metrics.inc("backend_restarts")
+        logger.info("backend %s re-registered after restart", address)
 
     @staticmethod
     def _sweep_key(message: dict) -> str:

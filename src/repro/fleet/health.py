@@ -107,6 +107,15 @@ class CircuitBreaker:
                 self._opened_at = self._clock()  # (re)start the reset clock
             self._probing = False
 
+    def reset(self) -> None:
+        """Force-close the breaker (the backend was just restarted): clear
+        the failure count and any open/half-open state so traffic returns
+        immediately instead of waiting out ``reset_timeout_s``."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probing = False
+
 
 class BackendHealth:
     """One backend's breaker plus its last observed ``status`` payload."""
@@ -135,6 +144,13 @@ class BackendHealth:
     def last_status(self) -> "dict | None":
         with self._lock:
             return self._last_status
+
+    def forget_observations(self) -> None:
+        """Drop the cached status/error (the process behind the address
+        changed; its old load view and failure reason are meaningless)."""
+        with self._lock:
+            self._last_status = None
+            self._last_error = None
 
     def snapshot(self) -> dict:
         """The fleet view's per-backend row (JSON-safe)."""
@@ -215,6 +231,13 @@ class HealthMonitor:
 
     def record_failure(self, address: str) -> None:
         self._backends[address].breaker.record_failure()
+
+    def notify_restarted(self, address: str) -> None:
+        """Re-register a restarted backend: close its breaker and drop the
+        stale status/error so the next probe observes the fresh daemon."""
+        health = self._backends[address]
+        health.breaker.reset()
+        health.forget_observations()
 
     def healthy(self) -> "tuple[str, ...]":
         """Backends whose breaker is not open (declaration order)."""

@@ -20,7 +20,7 @@ answers them off the same planning machinery the one-shot CLI uses:
 See ``docs/SERVICE.md`` for the protocol reference.
 """
 
-from .cache import CacheStats, LRUCache
+from .cache import CacheStats, LRUCache, load_cache_snapshot, save_cache_snapshot
 from .client import ClientError, PlanClient, PlanServiceError
 from .metrics import Histogram, ServiceMetrics
 from .protocol import (
@@ -39,6 +39,8 @@ from .server import PlanServer, ServerConfig
 __all__ = [
     "CacheStats",
     "LRUCache",
+    "load_cache_snapshot",
+    "save_cache_snapshot",
     "ClientError",
     "PlanClient",
     "PlanServiceError",

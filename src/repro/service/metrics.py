@@ -142,17 +142,25 @@ class ServiceMetrics:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Everything, JSON-serializable (the ``status`` RPC's payload)."""
+        """Everything, JSON-serializable (the ``status`` RPC's payload).
+
+        A deep copy taken entirely under the registry lock: counters and
+        every histogram are materialized before returning, so a concurrent
+        status read can never observe counters from one instant and
+        histogram buckets from another, and mutating the returned dict
+        never touches live registry state.
+        """
         with self._lock:
             counters = dict(sorted(self._counters.items()))
-            histograms = dict(self._histograms)
+            histograms = {
+                name: hist.snapshot()
+                for name, hist in sorted(self._histograms.items())
+            }
         return {
             "uptime_s": self.uptime_s,
             "started_at_unix": self._started_wall,
             "counters": counters,
-            "histograms": {
-                name: hist.snapshot() for name, hist in sorted(histograms.items())
-            },
+            "histograms": histograms,
         }
 
     def log_line(self, **extra: object) -> str:

@@ -31,10 +31,26 @@ Serving model
 * **Drain** — SIGTERM/SIGINT (or the ``shutdown`` RPC) stop accepting
   work, let in-flight computations finish (bounded by
   ``drain_timeout_s``), flush their responses, and exit cleanly.
+* **Supervision** — the executor is a
+  :class:`~repro.analysis.supervisor.SupervisedExecutor`: a crashed or
+  hung worker triggers a pool rebuild and resubmission instead of
+  failing every in-flight request, and repeat offenders are quarantined
+  (surfacing as structured ``internal`` errors, not pool casualties).
+* **Degraded mode** — when the pool is rebuilding (or just broke, or
+  the replica is saturated past ``degraded_high_water``), a cache miss
+  is answered with the *nearest* stale-but-valid cached plan for the
+  same (scenario, policy, n_periods) — flagged ``degraded: true`` and
+  counted — rather than shed.  The paper throttles before crossing
+  ``Cmin`` instead of browning out; the daemon serves stale before
+  erroring.
+* **Snapshots** — with ``snapshot_path`` set, the plan cache is
+  persisted atomically (and reloaded at start), so warm restarts keep
+  their hit rate and their degraded-mode fallback inventory.
 """
 
 from __future__ import annotations
 
+import errno
 import logging
 import os
 import signal
@@ -46,7 +62,8 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Mapping
 
-from ..analysis.batch import CellExecutor, CellOutcome, CellSpec, policy_names
+from ..analysis.batch import CellOutcome, CellSpec, policy_names
+from ..analysis.supervisor import CellFailure, SupervisedExecutor
 from ..core.allocation import (
     allocation_cache_entries,
     allocation_cache_maxsize,
@@ -55,7 +72,7 @@ from ..core.allocation import (
 )
 from ..core.pareto import OperatingFrontier
 from ..scenarios.paper import pama_frontier
-from .cache import LRUCache
+from .cache import LRUCache, load_cache_snapshot, save_cache_snapshot
 from .metrics import ServiceMetrics
 from .protocol import (
     MAX_LINE_BYTES,
@@ -74,6 +91,14 @@ __all__ = ["ServerConfig", "PlanServer"]
 
 logger = logging.getLogger(__name__)
 
+#: ``accept()`` failures worth retrying in place (load- or fd-pressure
+#: hiccups); anything else gets a full listener rebind.
+_ACCEPT_TRANSIENT_ERRNOS = frozenset(
+    getattr(errno, name)
+    for name in ("ECONNABORTED", "EMFILE", "ENFILE", "ENOBUFS", "ENOMEM", "EPROTO")
+    if hasattr(errno, name)
+)
+
 
 @dataclass
 class ServerConfig:
@@ -90,6 +115,16 @@ class ServerConfig:
     alloc_memo_size: "int | None" = None  #: resize the allocation memo
     accept_backlog: int = 128
     verify: bool = False  #: run every computed plan through the oracle
+    # --- supervision (see repro.analysis.supervisor) ---
+    cell_timeout_s: "float | None" = None  #: watchdog kill for hung cells (None = off)
+    max_cell_retries: int = 2  #: resubmissions after a pool break, per cell
+    quarantine_threshold: int = 3  #: consecutive interruptions before quarantine
+    # --- degraded mode ---
+    degraded_grace_s: float = 5.0  #: serve stale this long after a pool break
+    degraded_high_water: float = 0.9  #: saturation fraction of max_pending
+    # --- crash-safe plan-cache snapshot ---
+    snapshot_path: "str | None" = None  #: None disables persistence
+    snapshot_interval_s: float = 30.0  #: periodic save cadence (0 = only at drain)
 
 
 class _Inflight:
@@ -122,7 +157,12 @@ class PlanServer:
                 frontier=self.frontier, metrics=self.metrics
             )
         self._plan_cache: "LRUCache[str, dict]" = LRUCache(self.config.cache_size)
-        self._executor: "CellExecutor | None" = None
+        # Degraded-mode fallback inventory: (scenario, policy, n_periods) →
+        # {digest: supply_factor} for every payload the plan cache holds,
+        # so a miss under duress can be answered with the nearest stale plan.
+        self._fallback_lock = threading.Lock()
+        self._fallback_index: "dict[tuple, dict[str, float]]" = {}
+        self._executor: "SupervisedExecutor | None" = None
         self._listener: "socket.socket | None" = None
         self._endpoint: "str | None" = None
         self._unix_path: "str | None" = None
@@ -160,12 +200,26 @@ class PlanServer:
         self._started = True
         if self.config.alloc_memo_size is not None:
             set_allocation_cache_maxsize(self.config.alloc_memo_size)
-        self._executor = CellExecutor(
+        self._executor = SupervisedExecutor(
             self.frontier,
             n_workers=self.config.n_workers,
             cache=True,
             warm_entries=allocation_cache_entries(),
+            max_retries=self.config.max_cell_retries,
+            cell_timeout_s=self.config.cell_timeout_s,
+            quarantine_threshold=self.config.quarantine_threshold,
+            metrics=self.metrics,
         )
+        if self.config.snapshot_path:
+            restored = load_cache_snapshot(self._plan_cache, self.config.snapshot_path)
+            if restored:
+                self._rebuild_fallback_index()
+                self.metrics.inc("snapshot_entries_loaded", restored)
+                logger.info(
+                    "restored %d cached plans from snapshot %s",
+                    restored,
+                    self.config.snapshot_path,
+                )
         self._listener = self._bind(self.config.address)
         acceptor = threading.Thread(
             target=self._accept_loop, name="plan-server-accept", daemon=True
@@ -178,6 +232,12 @@ class PlanServer:
             )
             reporter.start()
             self._threads.append(reporter)
+        if self.config.snapshot_path and self.config.snapshot_interval_s > 0:
+            snapshotter = threading.Thread(
+                target=self._snapshot_loop, name="plan-server-snapshot", daemon=True
+            )
+            snapshotter.start()
+            self._threads.append(snapshotter)
         logger.info(
             "plan server listening on %s (%s executor, %d workers, "
             "cache %d, max_pending %d)",
@@ -200,7 +260,12 @@ class PlanServer:
                     os.unlink(path)  # stale socket from a dead daemon
                 else:
                     probe.close()
-                    raise RuntimeError(f"address {path!r} already has a live server")
+                    # EADDRINUSE, same as a TCP bind collision would raise:
+                    # callers get one error type for "address taken".
+                    raise OSError(
+                        errno.EADDRINUSE,
+                        f"address {path!r} already has a live server",
+                    )
                 finally:
                     probe.close()
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -225,8 +290,19 @@ class PlanServer:
 
     def install_signal_handlers(self) -> None:
         """SIGTERM/SIGINT → graceful drain (call from the main thread)."""
+        owner_pid = os.getpid()
 
         def _handler(signum: int, frame) -> None:
+            if os.getpid() != owner_pid:
+                # A forked child (e.g. a pool worker spawned after these
+                # handlers were installed) inherited this handler.  The
+                # drain must never run against inherited server state —
+                # shutdown(2) on the shared listener fd would un-listen
+                # the socket for the parent too.  Die like a default
+                # SIGTERM would.
+                signal.signal(signum, signal.SIG_DFL)
+                os.kill(os.getpid(), signum)
+                return
             logger.info("received signal %d: draining", signum)
             threading.Thread(
                 target=self.stop, name="plan-server-drain", daemon=True
@@ -291,20 +367,71 @@ class PlanServer:
                 os.unlink(self._unix_path)
             except OSError:
                 pass
+        self._save_snapshot(reason="drain")
         logger.info("%s", self.metrics.log_line(event="service_stopped"))
         self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # plan-cache snapshot persistence
+    # ------------------------------------------------------------------
+    def _save_snapshot(self, *, reason: str) -> None:
+        path = self.config.snapshot_path
+        if not path:
+            return
+        try:
+            n = save_cache_snapshot(self._plan_cache, path)
+        except OSError as exc:
+            logger.warning("plan-cache snapshot to %s failed: %s", path, exc)
+            return
+        self.metrics.inc("snapshot_saves")
+        logger.debug("plan-cache snapshot (%s): %d entries -> %s", reason, n, path)
+
+    def _snapshot_loop(self) -> None:
+        while not self._stop_event.wait(self.config.snapshot_interval_s):
+            self._save_snapshot(reason="periodic")
+
+    def _rebuild_fallback_index(self) -> None:
+        """Re-derive the degraded-mode index from the plan cache (after a
+        snapshot restore)."""
+        with self._fallback_lock:
+            self._fallback_index.clear()
+            for digest, payload in self._plan_cache.snapshot_items():
+                try:
+                    key = (
+                        payload["scenario"],
+                        payload["policy"],
+                        payload["n_periods"],
+                    )
+                    factor = float(payload["supply_factor"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                self._fallback_index.setdefault(key, {})[digest] = factor
 
     # ------------------------------------------------------------------
     # connection plumbing
     # ------------------------------------------------------------------
     def _accept_loop(self) -> None:
-        listener = self._listener
-        assert listener is not None
         while not self._stop_event.is_set():
+            listener = self._listener
+            if listener is None:
+                break
             try:
                 conn, _ = listener.accept()
-            except OSError:
-                break  # listener closed by stop()
+            except OSError as exc:
+                if self._stop_event.is_set():
+                    break  # listener closed by stop()
+                # A dead acceptor is the worst failure mode: the socket
+                # stays bound-but-unserved, refusing every new client
+                # while established connections keep working — invisible
+                # to connection-pooling health checks.  Never die silently.
+                if exc.errno in _ACCEPT_TRANSIENT_ERRNOS:
+                    logger.warning("accept failed (%s); retrying", exc)
+                    time.sleep(0.05)
+                    continue
+                logger.error("accept failed (%s); rebinding listener", exc)
+                if not self._rebind_listener():
+                    break
+                continue
             self.metrics.inc("connections_opened")
             thread = threading.Thread(
                 target=self._serve_connection,
@@ -316,6 +443,36 @@ class PlanServer:
                 self._conns[id(conn)] = conn
             self._threads.append(thread)
             thread.start()
+
+    def _rebind_listener(self) -> bool:
+        """Self-heal a listener whose ``accept()`` keeps failing hard
+        (e.g. the fd was sabotaged out from under us): close it, clear a
+        stale unix socket file, and bind the same endpoint afresh."""
+        old = self._listener
+        if old is not None:
+            try:
+                old.close()
+            except OSError:
+                pass
+        if self._unix_path and os.path.exists(self._unix_path):
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+        try:
+            # The resolved endpoint, not config.address: a ``tcp:...:0``
+            # bind must come back on the port clients already know.
+            self._listener = self._bind(self.endpoint)
+        except OSError as exc:
+            logger.critical(
+                "listener rebind on %s failed (%s); acceptor exiting",
+                self._endpoint,
+                exc,
+            )
+            return False
+        self.metrics.inc("listener_rebinds")
+        logger.warning("listener re-bound on %s", self._endpoint)
+        return True
 
     def _serve_connection(self, conn: socket.socket) -> None:
         fh = conn.makefile("rb")
@@ -398,6 +555,63 @@ class PlanServer:
         )
 
     # ------------------------------------------------------------------
+    # degraded mode
+    # ------------------------------------------------------------------
+    def _degraded_reason(self) -> "str | None":
+        """Why the replica should prefer stale plans right now (or None).
+
+        Degraded when the worker pool is mid-rebuild, within the grace
+        window after a pool break (workers are cold, the next miss may
+        hit the same fault), or saturated past the high-water mark.
+        """
+        executor = self._executor
+        if executor is None:
+            return None
+        if executor.rebuilding:
+            return "pool_rebuilding"
+        age = executor.last_break_age_s()
+        if age is not None and age < self.config.degraded_grace_s:
+            return "pool_break_grace"
+        high_water = max(
+            1, int(self.config.degraded_high_water * self.config.max_pending)
+        )
+        with self._dispatch_lock:
+            pending = self._pending
+        if pending >= high_water:
+            return "saturated"
+        return None
+
+    def _degraded_fallback(self, request: PlanRequest, digest: str) -> "dict | None":
+        """The cached plan for the same (scenario, policy, n_periods) whose
+        ``supply_factor`` is nearest the request's — stale but valid, its
+        payload self-consistent under the oracle.  None if nothing cached.
+        """
+        key = (request.scenario, request.policy, request.n_periods)
+        with self._fallback_lock:
+            candidates = dict(self._fallback_index.get(key, ()))
+        best: "dict | None" = None
+        best_distance = float("inf")
+        for candidate_digest, factor in candidates.items():
+            if candidate_digest == digest:
+                continue  # that is the plan we don't have
+            payload = self._plan_cache.peek(candidate_digest)
+            if payload is None:  # evicted since indexing
+                with self._fallback_lock:
+                    entries = self._fallback_index.get(key)
+                    if entries is not None:
+                        entries.pop(candidate_digest, None)
+                continue
+            distance = abs(factor - request.supply_factor)
+            if distance < best_distance:
+                best, best_distance = payload, distance
+        return best
+
+    def _serve_degraded(self, payload: dict, reason: str) -> dict:
+        self.metrics.inc("degraded_served")
+        logger.debug("degraded serve (%s): %s", reason, payload.get("digest"))
+        return {**payload, "cached": True, "degraded": True, "degraded_reason": reason}
+
+    # ------------------------------------------------------------------
     def _handle_plan(self, message: Mapping) -> dict:
         request = PlanRequest.from_payload(message)
         digest = request.digest()
@@ -406,6 +620,11 @@ class PlanServer:
             self.metrics.inc("plan_cache_hits")
             return {**cached, "cached": True}
         self.metrics.inc("plan_cache_misses")
+        degraded = self._degraded_reason()
+        if degraded is not None:
+            fallback = self._degraded_fallback(request, digest)
+            if fallback is not None:
+                return self._serve_degraded(fallback, degraded)
         deadline_s = (
             request.deadline_s
             if request.deadline_s is not None
@@ -414,6 +633,7 @@ class PlanServer:
         executor = self._executor
         assert executor is not None
         submitted = False
+        shed_message: "str | None" = None
         with self._dispatch_lock:
             if self._draining.is_set():
                 raise ProtocolError("shutting_down", "daemon is draining")
@@ -426,20 +646,28 @@ class PlanServer:
                     self.metrics.inc("plan_cache_hits")
                     return {**finished, "cached": True}
                 if self._pending >= self.config.max_pending:
-                    self.metrics.inc("requests_shed")
-                    raise ProtocolError(
-                        "overloaded",
+                    shed_message = (
                         f"{self._pending} computations in flight "
-                        f"(max_pending={self.config.max_pending}); retry later",
+                        f"(max_pending={self.config.max_pending}); retry later"
                     )
-                future = executor.submit(request.to_cell_spec())
-                self._pending += 1
-                entry = _Inflight(future)
-                self._inflight[digest] = entry
-                submitted = True
+                else:
+                    future = executor.submit(request.to_cell_spec())
+                    self._pending += 1
+                    entry = _Inflight(future)
+                    self._inflight[digest] = entry
+                    submitted = True
             else:
                 self.metrics.inc("plan_coalesced")
-            entry.waiters += 1
+            if entry is not None and shed_message is None:
+                entry.waiters += 1
+        if shed_message is not None:
+            # Saturated: a stale plan beats an error, an error beats an
+            # unbounded queue.
+            fallback = self._degraded_fallback(request, digest)
+            if fallback is not None:
+                return self._serve_degraded(fallback, "saturated")
+            self.metrics.inc("requests_shed")
+            raise ProtocolError("overloaded", shed_message)
         if submitted:
             # Registered outside the lock: a future that finished already
             # runs its callback inline here, and the callback itself takes
@@ -480,6 +708,18 @@ class PlanServer:
                     self._inflight.pop(digest, None)
             if abandoned and entry.future.cancel():
                 self.metrics.inc("plans_cancelled")
+        if isinstance(outcome, CellFailure):
+            # Supervision gave up on this cell (poison/quarantined).  A
+            # stale neighbour still beats an error if we have one.
+            self.metrics.inc("plan_failures")
+            fallback = self._degraded_fallback(request, digest)
+            if fallback is not None:
+                return self._serve_degraded(fallback, "cell_failure")
+            raise ProtocolError(
+                "internal",
+                f"plan computation failed ({outcome.reason} after "
+                f"{outcome.attempts} attempt(s)): {outcome.message}",
+            )
         return {**self._plan_payload(request, digest, outcome), "cached": False}
 
     def _on_plan_done(self, digest: str, request: PlanRequest, future) -> None:
@@ -488,8 +728,14 @@ class PlanServer:
             self._pending -= 1
         if future.cancelled() or future.exception() is not None:
             return
-        payload = self._plan_payload(request, digest, future.result())
+        result = future.result()
+        if isinstance(result, CellFailure):
+            return  # failures are answered, never cached
+        payload = self._plan_payload(request, digest, result)
         self._plan_cache.put(digest, payload)
+        key = (request.scenario, request.policy, request.n_periods)
+        with self._fallback_lock:
+            self._fallback_index.setdefault(key, {})[digest] = request.supply_factor
         if self._verifier is not None:
             # Once per computed plan (cache hits re-serve a checked payload);
             # violations are counted and logged, never block serving.
@@ -594,6 +840,12 @@ class PlanServer:
                         "internal",
                         f"sweep cell failed: {type(exc).__name__}: {exc}",
                     ) from exc
+                if isinstance(outcome, CellFailure):
+                    raise ProtocolError(
+                        "internal",
+                        f"sweep cell {outcome.scenario}/{outcome.policy} failed "
+                        f"({outcome.reason}): {outcome.message}",
+                    )
                 result = outcome.cell.result
                 rows.append(
                     {
@@ -624,6 +876,7 @@ class PlanServer:
         executor = self._executor
         memo = allocation_cache_stats()
         cache_stats = self._plan_cache.stats()
+        degraded_reason = self._degraded_reason()
         with self._dispatch_lock:
             pending = self._pending
             inflight = len(self._inflight)
@@ -643,6 +896,8 @@ class PlanServer:
                 "plan_cache_hits": cache_stats.hits,
                 "plan_cache_misses": cache_stats.misses,
                 "plan_cache_hit_rate": cache_stats.hit_rate,
+                "degraded": degraded_reason is not None,
+                "degraded_reason": degraded_reason,
                 "verify": (
                     self._verifier.snapshot()
                     if self._verifier is not None
@@ -666,7 +921,20 @@ class PlanServer:
                 "default_deadline_s": self.config.default_deadline_s,
                 "scenarios": list(scenario_names()),
                 "policies": list(policy_names()),
+                "worker_pids": (
+                    list(executor.worker_pids()) if executor is not None else []
+                ),
+                "snapshot_path": self.config.snapshot_path,
             },
+            "supervisor": (
+                {
+                    **executor.counters(),
+                    "rebuilding": executor.rebuilding,
+                    "last_break_age_s": executor.last_break_age_s(),
+                }
+                if executor is not None
+                else {}
+            ),
             "plan_cache": cache_stats.as_dict(),
             "allocation_memo": {
                 "hits": memo.hits,

@@ -1,0 +1,668 @@
+"""Seeded, replayable chaos harness for the serving stack.
+
+``repro chaos`` stands up a real fleet — N spawned backend daemons with
+process pools, supervision, snapshots, and degraded mode enabled, fronted
+by the routing gateway — then attacks it on a deterministic schedule
+while plan clients hammer the front door.  The run *passes* only if the
+robustness layer absorbed every fault:
+
+* **zero failed client requests** — every ``plan`` RPC issued by the
+  client threads returned a payload (fresh, cached, or degraded-stale);
+* **zero oracle violations** — every returned payload passes
+  :func:`repro.verify.oracle.check_plan_payload`;
+* **the faults actually landed** — pool rebuilds, backend restarts, and
+  degraded serves are observed nonzero for the injection kinds the
+  schedule contained (a chaos run that broke nothing proves nothing).
+
+Injections (all seeded from ``--seed``, same seed → same schedule):
+
+``worker_sigkill``
+    SIGKILL one live worker process of a backend's pool (pids read from
+    the backend's ``status``), then probe the backend so the break
+    surfaces, rebuilds, and opens the degraded grace window.
+``hung_cell``
+    Ask a backend to run the ``chaos_hang`` policy — a cell that sleeps
+    forever — and let the supervision watchdog kill and quarantine it.
+``backend_kill``
+    SIGKILL a whole backend daemon; the fleet supervisor must restart it
+    and the gateway must re-register it.
+``snapshot_corrupt``
+    Overwrite a backend's plan-cache snapshot with garbage, then kill
+    the backend so its restart exercises the corrupt-snapshot load path.
+
+Conventions follow :mod:`repro.verify.fuzz`: every random stream is
+``random.Random(f"{seed}:{purpose}")``, so any failure replays exactly
+from its seed.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import random
+import signal
+import tempfile
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..scenarios.paper import pama_frontier
+from .oracle import check_plan_payload
+
+__all__ = [
+    "INJECTION_KINDS",
+    "Injection",
+    "ChaosConfig",
+    "ChaosReport",
+    "register_chaos_policies",
+    "build_injection_schedule",
+    "run_chaos",
+]
+
+logger = logging.getLogger(__name__)
+
+INJECTION_KINDS = ("worker_sigkill", "hung_cell", "backend_kill", "snapshot_corrupt")
+
+#: supply factors the warmup pre-plans on every backend (the degraded-mode
+#: fallback inventory) and client threads mostly draw from
+_WARM_FACTORS = (1.0, 0.95, 0.9)
+
+#: fresh-miss probes use this band so they never collide with client keys
+_PROBE_FACTOR_BASE = 0.70
+_PROBE_FACTOR_STEP = 1e-4
+
+
+# ----------------------------------------------------------------------
+# chaos policies (registered only behind `serve --chaos-policies`)
+# ----------------------------------------------------------------------
+def _run_chaos_hang(spec, frontier):
+    """A cell that never finishes: watchdog fodder."""
+    time.sleep(3600.0)
+    raise RuntimeError("chaos_hang survived its nap")  # pragma: no cover
+
+
+def _run_chaos_exit(spec, frontier):
+    """A cell that kills its worker the hard way: pool-break fodder."""
+    os._exit(1)
+
+
+def register_chaos_policies() -> None:
+    """Register ``chaos_hang`` / ``chaos_exit`` in the policy registry.
+
+    Idempotent.  Only the chaos harness (via ``serve --chaos-policies``)
+    should ever call this — the policies exist to damage the worker pool.
+    """
+    from ..analysis.batch import _POLICIES, register_policy
+
+    if "chaos_hang" not in _POLICIES:
+        register_policy("chaos_hang", _run_chaos_hang)
+    if "chaos_exit" not in _POLICIES:
+        register_policy("chaos_exit", _run_chaos_exit)
+
+
+# ----------------------------------------------------------------------
+# the schedule
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Injection:
+    """One scheduled fault: when, what, and at which backend."""
+
+    at_s: float  #: offset from the start of the attack window
+    kind: str  #: one of :data:`INJECTION_KINDS`
+    backend: int  #: target backend index
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def build_injection_schedule(
+    seed: int, duration_s: float, n_backends: int
+) -> "tuple[Injection, ...]":
+    """The deterministic attack plan for one chaos run.
+
+    The first four slots cover every injection kind once (shuffled), so
+    even a short run exercises worker kills, hangs, backend kills, and
+    snapshot corruption; longer runs append further seeded injections
+    every few seconds.  Same ``(seed, duration_s, n_backends)`` → the
+    identical schedule, which is what makes a chaos failure replayable.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    if n_backends < 1:
+        raise ValueError(f"n_backends must be >= 1, got {n_backends}")
+    rng = random.Random(f"{seed}:schedule")
+    kinds = list(INJECTION_KINDS)
+    rng.shuffle(kinds)
+    injections: "list[Injection]" = []
+    # Guaranteed coverage: the four kinds spread over the first ~70% of
+    # the window (the tail is left for recovery to be observed).
+    for i, kind in enumerate(kinds):
+        base = (0.10 + 0.15 * i) * duration_s
+        jitter = rng.uniform(0.0, 0.05 * duration_s)
+        injections.append(
+            Injection(
+                at_s=round(base + jitter, 3),
+                kind=kind,
+                backend=rng.randrange(n_backends),
+            )
+        )
+    # Extra seeded injections for long runs, one roughly every 5 seconds
+    # past the coverage window.
+    t = 0.75 * duration_s
+    while t + 5.0 < duration_s:
+        t += rng.uniform(4.0, 6.0)
+        if t >= duration_s:
+            break
+        injections.append(
+            Injection(
+                at_s=round(t, 3),
+                kind=rng.choice(INJECTION_KINDS),
+                backend=rng.randrange(n_backends),
+            )
+        )
+    injections.sort(key=lambda inj: inj.at_s)
+    return tuple(injections)
+
+
+# ----------------------------------------------------------------------
+# config / report
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosConfig:
+    """Tunables of one :func:`run_chaos` invocation."""
+
+    seed: int = 0
+    duration_s: float = 20.0  #: attack-window length
+    n_backends: int = 2
+    n_workers: int = 2  #: per backend; >= 2 so pools are real processes
+    n_clients: int = 3  #: concurrent client threads at the gateway
+    socket_dir: "str | None" = None  #: default: a fresh tempdir
+    log_level: str = "warning"
+    startup_timeout_s: float = 60.0
+    cell_timeout_s: float = 1.0  #: backend watchdog for hung cells
+    degraded_grace_s: float = 3.0  #: backend degraded window after a break
+    snapshot_interval_s: float = 1.0  #: backend snapshot cadence
+    request_deadline_s: float = 20.0  #: per-client-request deadline
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Everything one chaos run observed (JSON-ready via :meth:`as_dict`)."""
+
+    seed: int
+    duration_s: float
+    schedule: "tuple[Injection, ...]"
+    injections_done: "tuple[str, ...]"  #: one log line per landed injection
+    requests_total: int
+    requests_ok: int
+    requests_degraded: int  #: subset of ok answered from stale cache
+    requests_failed: int
+    failures: "tuple[str, ...]"  #: first few failure descriptions
+    oracle_checks: int
+    oracle_violations: "tuple[str, ...]"
+    counters: "dict[str, int]" = field(default_factory=dict)
+    reasons: "tuple[str, ...]" = ()  #: why ``ok`` is False (empty when True)
+
+    @property
+    def ok(self) -> bool:
+        return not self.reasons
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "schedule": [inj.as_dict() for inj in self.schedule],
+            "injections_done": list(self.injections_done),
+            "requests_total": self.requests_total,
+            "requests_ok": self.requests_ok,
+            "requests_degraded": self.requests_degraded,
+            "requests_failed": self.requests_failed,
+            "failures": list(self.failures),
+            "oracle_checks": self.oracle_checks,
+            "oracle_violations": list(self.oracle_violations),
+            "counters": dict(self.counters),
+            "reasons": list(self.reasons),
+        }
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"{verdict}: {self.requests_ok}/{self.requests_total} client "
+            f"requests ok ({self.requests_degraded} degraded, "
+            f"{self.requests_failed} failed), {self.oracle_checks} oracle "
+            f"checks ({len(self.oracle_violations)} violations), "
+            f"{len(self.injections_done)}/{len(self.schedule)} injections, "
+            f"rebuilds={self.counters.get('pool_rebuilds', 0)} "
+            f"restarts={self.counters.get('backend_restarts', 0)} "
+            f"degraded_served={self.counters.get('degraded_served', 0)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# observation plumbing
+# ----------------------------------------------------------------------
+#: backend-side counters the observer accumulates across process incarnations
+_SUPERVISOR_KEYS = (
+    "pool_rebuilds",
+    "cells_resubmitted",
+    "cells_quarantined",
+    "cell_timeouts",
+    "cell_failures",
+    "workers_killed",
+)
+_METRIC_KEYS = (
+    "degraded_served",
+    "plan_failures",
+    "snapshot_saves",
+    "snapshot_entries_loaded",
+)
+
+
+class _CounterAccumulator:
+    """Sums monotonically-increasing backend counters across restarts.
+
+    A restarted backend starts its counters from zero, so summing final
+    values would forget every incarnation that died.  Counters are
+    tracked per ``(address, pid)`` — the pid changes on restart — and the
+    total is the sum of each incarnation's last observed value.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_incarnation: "dict[tuple[str, int], dict[str, int]]" = {}
+
+    def observe(self, address: str, status: dict) -> None:
+        pid = status.get("server", {}).get("pid")
+        if not isinstance(pid, int):
+            return
+        seen: "dict[str, int]" = {}
+        supervisor = status.get("supervisor") or {}
+        for key in _SUPERVISOR_KEYS:
+            value = supervisor.get(key)
+            if isinstance(value, int):
+                seen[key] = value
+        counters = (status.get("metrics") or {}).get("counters") or {}
+        for key in _METRIC_KEYS:
+            value = counters.get(key)
+            if isinstance(value, int):
+                seen[key] = value
+        with self._lock:
+            self._by_incarnation[(address, pid)] = seen
+
+    def totals(self) -> "dict[str, int]":
+        out: "dict[str, int]" = {
+            key: 0 for key in (*_SUPERVISOR_KEYS, *_METRIC_KEYS)
+        }
+        with self._lock:
+            for seen in self._by_incarnation.values():
+                for key, value in seen.items():
+                    out[key] = out.get(key, 0) + value
+        return out
+
+
+class _ClientStats:
+    """Shared tally of the client threads' request outcomes."""
+
+    def __init__(self, max_recorded: int = 20):
+        self._lock = threading.Lock()
+        self.total = 0
+        self.ok = 0
+        self.degraded = 0
+        self.failed = 0
+        self.oracle_checks = 0
+        self._failures: "list[str]" = []
+        self._violations: "list[str]" = []
+        self._max = max_recorded
+
+    def record_ok(self, payload: dict, violations) -> None:
+        with self._lock:
+            self.total += 1
+            self.ok += 1
+            self.oracle_checks += 1
+            if payload.get("degraded"):
+                self.degraded += 1
+            if violations:
+                for violation in violations:
+                    if len(self._violations) < self._max:
+                        self._violations.append(str(violation))
+
+    def record_failure(self, detail: str) -> None:
+        with self._lock:
+            self.total += 1
+            self.failed += 1
+            if len(self._failures) < self._max:
+                self._failures.append(detail)
+
+    def failures(self) -> "tuple[str, ...]":
+        with self._lock:
+            return tuple(self._failures)
+
+    def violations(self) -> "tuple[str, ...]":
+        with self._lock:
+            return tuple(self._violations)
+
+
+# ----------------------------------------------------------------------
+# the harness
+# ----------------------------------------------------------------------
+def run_chaos(config: "ChaosConfig | None" = None) -> ChaosReport:
+    """Stand up a fleet, attack it on the seeded schedule, and report.
+
+    Blocks for roughly ``duration_s`` plus startup/drain.  Never raises
+    on a *failed* run — failure is data, returned in the report — only on
+    harness-level setup errors (e.g. the fleet cannot start at all).
+    """
+    from ..fleet.gateway import GatewayConfig, PlanGateway
+    from ..fleet.launcher import FleetLauncher
+    from ..service.client import ClientError, PlanClient, PlanServiceError
+
+    config = config or ChaosConfig()
+    if config.n_workers < 2:
+        raise ValueError("chaos needs n_workers >= 2 (process pools to break)")
+    if config.n_backends < 1:
+        raise ValueError("chaos needs n_backends >= 1")
+    frontier = pama_frontier()
+    schedule = build_injection_schedule(
+        config.seed, config.duration_s, config.n_backends
+    )
+    stats = _ClientStats()
+    accumulator = _CounterAccumulator()
+    injections_done: "list[str]" = []
+    stop = threading.Event()
+    probe_counter = [0]
+    probe_lock = threading.Lock()
+
+    def _fresh_probe_factor() -> float:
+        """A supply factor no client thread will ever request (cache miss)."""
+        with probe_lock:
+            probe_counter[0] += 1
+            return _PROBE_FACTOR_BASE + _PROBE_FACTOR_STEP * probe_counter[0]
+
+    tmp_ctx = None
+    if config.socket_dir is None:
+        tmp_ctx = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        base_dir = Path(tmp_ctx.name)
+    else:
+        base_dir = Path(config.socket_dir)
+        base_dir.mkdir(parents=True, exist_ok=True)
+    snapshot_dir = base_dir / "snapshots"
+    snapshot_dir.mkdir(exist_ok=True)
+
+    launcher = FleetLauncher(
+        n_backends=config.n_backends,
+        socket_dir=base_dir,
+        n_workers=config.n_workers,
+        log_level=config.log_level,
+        startup_timeout_s=config.startup_timeout_s,
+        snapshot_dir=snapshot_dir,
+        extra_serve_args=(
+            "--chaos-policies",
+            "--cell-timeout", str(config.cell_timeout_s),
+            "--degraded-grace", str(config.degraded_grace_s),
+            "--snapshot-interval", str(config.snapshot_interval_s),
+        ),
+        supervise_interval_s=0.2,
+        restart_backoff_s=0.2,
+        restart_backoff_cap_s=2.0,
+        restart_budget=20,
+    )
+    gateway = None
+    threads: "list[threading.Thread]" = []
+    try:
+        launcher.spawn()
+        gateway = PlanGateway(
+            GatewayConfig(
+                address=f"unix:{base_dir}/chaos-gateway.sock",
+                backends=launcher.addresses,
+                probe_interval_s=0.2,
+                rng_seed=config.seed,
+            )
+        )
+        gateway.start()
+        launcher.start_supervision(
+            lambda backend: gateway.notify_backend_restarted(backend.address)
+        )
+
+        # Warmup: stock every backend's cache (and therefore its degraded
+        # fallback inventory) with a few plans per scenario.
+        for address in launcher.addresses:
+            with PlanClient(address, timeout=30.0) as warm:
+                for scenario in ("scenario1", "scenario2"):
+                    for factor in _WARM_FACTORS:
+                        warm.plan(
+                            scenario,
+                            supply_factor=factor,
+                            deadline_s=config.request_deadline_s,
+                        )
+
+        # --- client threads: the traffic that must never fail -----------
+        def client_loop(index: int) -> None:
+            rng = random.Random(f"{config.seed}:client:{index}")
+            client: "PlanClient | None" = None
+            while not stop.is_set():
+                try:
+                    if client is None:
+                        client = PlanClient(gateway.endpoint, timeout=30.0)
+                    scenario = rng.choice(("scenario1", "scenario2"))
+                    policy = rng.choice(("proposed", "proposed", "static"))
+                    if rng.random() < 0.7:
+                        factor = rng.choice(_WARM_FACTORS)
+                    else:
+                        factor = round(rng.uniform(0.85, 1.0), 4)
+                    payload = client.plan(
+                        scenario,
+                        policy=policy,
+                        supply_factor=factor,
+                        deadline_s=config.request_deadline_s,
+                    )
+                    violations = check_plan_payload(payload, frontier=frontier)
+                    stats.record_ok(payload, violations)
+                except (PlanServiceError, ClientError, OSError) as exc:
+                    if stop.is_set():
+                        break  # drain noise, not a chaos failure
+                    stats.record_failure(f"{type(exc).__name__}: {exc}")
+                    if not isinstance(exc, PlanServiceError):
+                        client = None  # transport died; reconnect
+                time.sleep(rng.uniform(0.01, 0.05))
+            if client is not None:
+                client.close()
+
+        for i in range(config.n_clients):
+            thread = threading.Thread(
+                target=client_loop, args=(i,), name=f"chaos-client-{i}", daemon=True
+            )
+            thread.start()
+            threads.append(thread)
+
+        # --- observer: accumulate backend counters across incarnations --
+        def observer_loop() -> None:
+            while not stop.wait(0.25):
+                _observe_all()
+
+        def _observe_all() -> None:
+            for address in launcher.addresses:
+                try:
+                    with PlanClient(address, timeout=2.0) as probe:
+                        accumulator.observe(address, probe.status())
+                except (ClientError, PlanServiceError, OSError):
+                    continue  # dead or restarting; its last totals stand
+
+        observer = threading.Thread(
+            target=observer_loop, name="chaos-observer", daemon=True
+        )
+        observer.start()
+        threads.append(observer)
+
+        # --- the injector -----------------------------------------------
+        inject_rng = random.Random(f"{config.seed}:inject")
+        t0 = time.monotonic()
+
+        def _direct_plan(address: str, *, policy: str, factor: float,
+                         deadline_s: float) -> "dict | None":
+            """Fire one plan at a backend, tolerating any outcome."""
+            try:
+                with PlanClient(address, timeout=deadline_s + 10.0) as probe:
+                    payload = probe.plan(
+                        "scenario1",
+                        policy=policy,
+                        supply_factor=factor,
+                        deadline_s=deadline_s,
+                    )
+            except (ClientError, PlanServiceError, OSError) as exc:
+                logger.info(
+                    "probe %s factor=%s failed: %s: %s",
+                    address, factor, type(exc).__name__, exc,
+                )
+                return None
+            logger.info(
+                "probe %s factor=%s -> cached=%s degraded=%s",
+                address, factor,
+                payload.get("cached"), payload.get("degraded"),
+            )
+            return payload
+
+        def _inject(injection: Injection) -> str:
+            address = launcher.addresses[injection.backend]
+            if injection.kind == "worker_sigkill":
+                pids: "list[int]" = []
+                daemon_pid = None
+                try:
+                    with PlanClient(address, timeout=5.0) as probe:
+                        status = probe.status()
+                    daemon_pid = status.get("server", {}).get("pid")
+                    pids = list(status.get("server", {}).get("worker_pids") or ())
+                except (ClientError, PlanServiceError, OSError):
+                    pass
+                if not pids:
+                    return f"worker_sigkill {address}: no live workers, skipped"
+                victim = inject_rng.choice(pids)
+                logger.info(
+                    "worker_sigkill %s: daemon pid %s, workers %s, victim %s",
+                    address, daemon_pid, pids, victim,
+                )
+                try:
+                    os.kill(victim, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    return f"worker_sigkill {address}: pid {victim} already gone"
+                # Surface the break now (a fresh miss hits the broken pool
+                # and triggers the rebuild) ...
+                _direct_plan(
+                    address, policy="proposed",
+                    factor=_fresh_probe_factor(), deadline_s=15.0,
+                )
+                # ... then a second fresh miss inside the grace window must
+                # come back degraded-stale.
+                degraded = _direct_plan(
+                    address, policy="proposed",
+                    factor=_fresh_probe_factor(), deadline_s=15.0,
+                )
+                flag = bool(degraded and degraded.get("degraded"))
+                try:
+                    with PlanClient(address, timeout=5.0) as probe:
+                        after = probe.status().get("supervisor", {})
+                except (ClientError, PlanServiceError, OSError):
+                    after = {}
+                logger.info(
+                    "worker_sigkill %s: post-probe supervisor %s",
+                    address, {k: v for k, v in after.items() if v},
+                )
+                return (
+                    f"worker_sigkill {address}: killed worker {victim}, "
+                    f"degraded probe {'served' if flag else 'not degraded'}"
+                )
+            if injection.kind == "hung_cell":
+                factor = _fresh_probe_factor()
+                threading.Thread(
+                    target=_direct_plan,
+                    args=(address,),
+                    kwargs={
+                        "policy": "chaos_hang",
+                        "factor": factor,
+                        "deadline_s": 10.0,
+                    },
+                    name="chaos-hang-probe",
+                    daemon=True,
+                ).start()
+                return f"hung_cell {address}: chaos_hang dispatched"
+            if injection.kind == "backend_kill":
+                backend = launcher.kill(injection.backend, signal.SIGKILL)
+                return f"backend_kill {address}: SIGKILLed pid {backend.pid}"
+            if injection.kind == "snapshot_corrupt":
+                path = snapshot_dir / f"backend-{injection.backend}.json"
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write('{"version": 1, "entries": [{"digest": "tru')
+                backend = launcher.kill(injection.backend, signal.SIGKILL)
+                return (
+                    f"snapshot_corrupt {address}: corrupted {path.name}, "
+                    f"SIGKILLed pid {backend.pid} to force a corrupt-load"
+                )
+            return f"unknown injection kind {injection.kind!r}"  # pragma: no cover
+
+        for injection in schedule:
+            delay = t0 + injection.at_s - time.monotonic()
+            if delay > 0 and stop.wait(delay):
+                break
+            note = _inject(injection)
+            injections_done.append(note)
+            logger.info("chaos injection: %s", note)
+
+        # Recovery tail: let supervision finish restarts and clients keep
+        # flowing until the window closes.
+        remaining = t0 + config.duration_s - time.monotonic()
+        if remaining > 0:
+            stop.wait(remaining)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        # One final counter sweep before the stack comes down.
+        try:
+            _observe_all()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        if gateway is not None:
+            gateway.stop()
+        launcher.terminate()
+        if tmp_ctx is not None:
+            tmp_ctx.cleanup()
+
+    counters = accumulator.totals()
+    counters["backend_restarts"] = launcher.restarts_total
+
+    kinds_scheduled = {injection.kind for injection in schedule}
+    reasons: "list[str]" = []
+    if stats.failed:
+        reasons.append(f"{stats.failed} client request(s) failed")
+    if stats.violations():
+        reasons.append(f"{len(stats.violations())} oracle violation(s)")
+    if len(injections_done) < len(schedule):
+        reasons.append(
+            f"only {len(injections_done)}/{len(schedule)} injections landed"
+        )
+    if "worker_sigkill" in kinds_scheduled or "hung_cell" in kinds_scheduled:
+        if counters.get("pool_rebuilds", 0) == 0:
+            reasons.append("pool_rebuilds stayed 0 despite worker faults")
+    if "worker_sigkill" in kinds_scheduled:
+        if counters.get("degraded_served", 0) == 0:
+            reasons.append("degraded_served stayed 0 despite a pool break")
+    if "backend_kill" in kinds_scheduled or "snapshot_corrupt" in kinds_scheduled:
+        if counters.get("backend_restarts", 0) == 0:
+            reasons.append("backend_restarts stayed 0 despite backend kills")
+
+    return ChaosReport(
+        seed=config.seed,
+        duration_s=config.duration_s,
+        schedule=schedule,
+        injections_done=tuple(injections_done),
+        requests_total=stats.total,
+        requests_ok=stats.ok,
+        requests_degraded=stats.degraded,
+        requests_failed=stats.failed,
+        failures=stats.failures(),
+        oracle_checks=stats.oracle_checks,
+        oracle_violations=stats.violations(),
+        counters=counters,
+        reasons=tuple(reasons),
+    )

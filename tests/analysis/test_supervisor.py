@@ -1,0 +1,179 @@
+"""The supervised executor: crash containment, quarantine, watchdog.
+
+The contract under test, from the robustness layer: a cell that kills
+its worker (``os._exit``), hangs forever, or breaks the pool must come
+back as a structured :class:`CellFailure` — never as an exception that
+takes sibling cells (or the whole sweep) down with it — and the pool
+must be transparently rebuilt underneath the survivors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.batch import CellSpec, run_grid
+from repro.analysis.supervisor import (
+    SUPERVISOR_COUNTERS,
+    CellFailure,
+    SupervisedExecutor,
+)
+from repro.verify.chaos import register_chaos_policies
+
+
+@pytest.fixture(autouse=True)
+def _chaos_policies():
+    # chaos_exit (os._exit(1)) and chaos_hang (sleeps forever) — the
+    # registration is inherited by forked pool workers.
+    register_chaos_policies()
+
+
+def _rows(report):
+    return [c.row() for c in report.cells]
+
+
+class TestPoisonCellContainment:
+    def test_os_exit_cell_does_not_fail_siblings(self, sc1, sc2, frontier):
+        """The ISSUE's headline regression: one worker-killing cell in a
+        grid must not fail the sweep or perturb sibling results."""
+        healthy = [
+            CellSpec(scenario=sc, policy=policy, n_periods=1)
+            for sc in (sc1, sc2)
+            for policy in ("proposed", "static")
+        ]
+        poison = CellSpec(scenario=sc1, policy="chaos_exit", n_periods=1)
+        cells = healthy[:2] + [poison] + healthy[2:]
+
+        parallel = run_grid(cells, frontier, n_workers=2)
+        serial = run_grid(healthy, frontier, n_workers=1)
+
+        assert len(parallel.cells) == len(healthy)
+        assert _rows(parallel) == _rows(serial)
+        assert len(parallel.failures) == 1
+        failure = parallel.failures[0]
+        assert isinstance(failure, CellFailure)
+        assert failure.policy == "chaos_exit"
+        assert failure.index == 2
+        assert failure.reason in ("crash", "quarantined")
+
+    def test_failures_surface_in_summary(self, sc1, frontier):
+        cells = [
+            CellSpec(scenario=sc1, policy="static", n_periods=1),
+            CellSpec(scenario=sc1, policy="chaos_exit", n_periods=1),
+        ]
+        report = run_grid(cells, frontier, n_workers=2)
+        summary = report.summary()
+        assert summary["n_failures"] == 1
+        assert summary["failures"][0]["policy"] == "chaos_exit"
+        assert summary["failures"][0]["reason"] in ("crash", "quarantined")
+
+    def test_unsupervised_path_still_works(self, sc1, frontier):
+        cells = [
+            CellSpec(scenario=sc1, policy=policy, n_periods=1)
+            for policy in ("proposed", "static")
+        ]
+        report = run_grid(cells, frontier, n_workers=2, supervise=False)
+        assert len(report.cells) == 2
+        assert report.failures == ()
+
+
+class TestQuarantine:
+    def test_repeat_offender_is_quarantined(self, sc1, frontier):
+        spec = CellSpec(scenario=sc1, policy="chaos_exit", n_periods=1)
+        executor = SupervisedExecutor(
+            frontier, n_workers=2, max_retries=1, quarantine_threshold=2
+        )
+        try:
+            first = executor.submit(spec).result(timeout=120)
+            assert isinstance(first, CellFailure)
+            # Submit until the consecutive-interruption count trips the
+            # threshold, then once more: the quarantined spec must fail
+            # fast without ever touching the pool again.
+            second = executor.submit(spec).result(timeout=120)
+            assert isinstance(second, CellFailure)
+            third = executor.submit(spec).result(timeout=120)
+            assert isinstance(third, CellFailure)
+            assert third.reason == "quarantined"
+            assert third.attempts == 0
+            counters = executor.counters()
+            assert counters["cells_quarantined"] >= 1
+            assert counters["pool_rebuilds"] >= 1
+            # A healthy cell still computes on the rebuilt pool.
+            healthy = executor.submit(
+                CellSpec(scenario=sc1, policy="static", n_periods=1)
+            ).result(timeout=120)
+            assert not isinstance(healthy, CellFailure)
+        finally:
+            executor.shutdown()
+
+    def test_success_exonerates_a_suspect(self, sc1, frontier):
+        executor = SupervisedExecutor(frontier, n_workers=2, max_retries=2)
+        try:
+            out = executor.submit(
+                CellSpec(scenario=sc1, policy="static", n_periods=1)
+            ).result(timeout=120)
+            assert not isinstance(out, CellFailure)
+            assert executor.counters()["cells_quarantined"] == 0
+        finally:
+            executor.shutdown()
+
+
+class TestWatchdog:
+    def test_hung_cell_times_out(self, sc1, frontier):
+        executor = SupervisedExecutor(
+            frontier,
+            n_workers=2,
+            max_retries=0,
+            cell_timeout_s=0.5,
+            quarantine_threshold=99,
+        )
+        try:
+            spec = CellSpec(scenario=sc1, policy="chaos_hang", n_periods=1)
+            failure = executor.submit(spec).result(timeout=120)
+            assert isinstance(failure, CellFailure)
+            assert failure.reason == "timeout"
+            counters = executor.counters()
+            assert counters["cell_timeouts"] >= 1
+            assert counters["workers_killed"] >= 1
+            # The pool survives the kill and still serves healthy cells.
+            out = executor.submit(
+                CellSpec(scenario=sc1, policy="static", n_periods=1)
+            ).result(timeout=120)
+            assert not isinstance(out, CellFailure)
+        finally:
+            executor.shutdown()
+
+
+class TestExecutorContract:
+    def test_deterministic_error_propagates(self, sc1, frontier):
+        """A cell that raises deterministically (unknown policy) is a bug
+        in the request, not a fault — it must raise, not retry."""
+        executor = SupervisedExecutor(frontier, n_workers=2)
+        try:
+            with pytest.raises(ValueError, match="unknown policy"):
+                executor.submit(
+                    CellSpec(scenario=sc1, policy="nope", n_periods=1)
+                ).result(timeout=120)
+            assert executor.counters()["cells_resubmitted"] == 0
+        finally:
+            executor.shutdown()
+
+    def test_thread_mode_passthrough(self, sc1, frontier):
+        executor = SupervisedExecutor(frontier, n_workers=1)
+        try:
+            assert executor.mode == "thread"
+            assert executor.worker_pids() == ()
+            out = executor.submit(
+                CellSpec(scenario=sc1, policy="static", n_periods=1)
+            ).result(timeout=120)
+            assert not isinstance(out, CellFailure)
+        finally:
+            executor.shutdown()
+
+    def test_counters_expose_every_supervision_event(self, frontier):
+        executor = SupervisedExecutor(frontier, n_workers=1)
+        try:
+            counters = executor.counters()
+            for name in SUPERVISOR_COUNTERS:
+                assert name in counters
+        finally:
+            executor.shutdown()

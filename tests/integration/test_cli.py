@@ -183,3 +183,49 @@ class TestServeClient:
             assert "inflight" in status["load"]
         finally:
             server.stop()
+
+
+class TestBindFailureExitCode:
+    """A port already in use is a transport problem: one stderr line and
+    exit code 3 (``EXIT_TRANSPORT``), never a traceback — so wrappers and
+    the fleet launcher can tell "address taken" from "daemon crashed"."""
+
+    def test_serve_exits_3_when_address_is_taken(self, tmp_path, frontier, capsys):
+        from repro.service.server import PlanServer, ServerConfig
+
+        address = f"unix:{tmp_path}/taken.sock"
+        live = PlanServer(
+            ServerConfig(address=address, metrics_interval_s=0.0),
+            frontier=frontier,
+        )
+        live.start()
+        try:
+            assert main(["serve", "--socket", address, "--workers", "0"]) == 3
+            err = capsys.readouterr().err
+            assert "cannot bind" in err
+            assert "Traceback" not in err
+        finally:
+            live.stop()
+
+    def test_fleet_exits_3_when_gateway_address_is_taken(
+        self, tmp_path, frontier, capsys
+    ):
+        from repro.service.server import PlanServer, ServerConfig
+
+        address = f"unix:{tmp_path}/gateway.sock"
+        squatter = PlanServer(
+            ServerConfig(address=address, metrics_interval_s=0.0),
+            frontier=frontier,
+        )
+        squatter.start()
+        try:
+            # --attach skips backend spawning, so the bind failure is the
+            # first thing the fleet command hits.
+            assert main([
+                "fleet", "--socket", address,
+                "--attach", f"unix:{tmp_path}/backend.sock",
+            ]) == 3
+            err = capsys.readouterr().err
+            assert "cannot bind" in err
+        finally:
+            squatter.stop()

@@ -1,0 +1,229 @@
+"""Degraded mode and the crash-safe plan-cache snapshot.
+
+The service-tier half of the robustness layer: a daemon whose worker
+pool just broke (or that is saturated) serves a stale-but-valid cached
+plan flagged ``degraded: true`` instead of failing the request, and the
+plan cache survives a restart via an atomic snapshot whose loader treats
+corruption as a cold start, never a crash.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import signal
+import time
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.analysis.batch import run_cell
+from repro.service.cache import (
+    LRUCache,
+    SNAPSHOT_VERSION,
+    load_cache_snapshot,
+    save_cache_snapshot,
+)
+from repro.service.client import PlanClient
+from repro.service.protocol import PlanRequest
+from repro.service.server import PlanServer, ServerConfig
+
+pytestmark = pytest.mark.service
+
+
+@contextmanager
+def running_server(tmp_path, frontier, **overrides):
+    overrides.setdefault("address", f"unix:{tmp_path}/plan.sock")
+    overrides.setdefault("metrics_interval_s", 0.0)
+    server = PlanServer(ServerConfig(**overrides), frontier=frontier)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+# ----------------------------------------------------------------------
+# snapshot persistence (unit level)
+# ----------------------------------------------------------------------
+class TestSnapshotRoundTrip:
+    def test_roundtrip_preserves_entries_and_recency(self, tmp_path):
+        cache: "LRUCache[str, dict]" = LRUCache(8)
+        for digest in ("a", "b", "c"):
+            cache.put(digest, {"digest": digest, "wasted": 1.0})
+        path = str(tmp_path / "snap.json")
+        assert save_cache_snapshot(cache, path) == 3
+        fresh: "LRUCache[str, dict]" = LRUCache(8)
+        assert load_cache_snapshot(fresh, path) == 3
+        assert fresh.snapshot_items() == cache.snapshot_items()
+
+    def test_ndarray_payloads_serialize_like_the_wire(self, tmp_path):
+        """Plan payloads carry numpy arrays/scalars; the snapshot must map
+        them to the same plain lists and numbers the protocol sends."""
+        cache: "LRUCache[str, dict]" = LRUCache(8)
+        payload = {
+            "digest": "abc",
+            "allocated_power": np.array([1.5, 2.5, 0.25]),
+            "wasted": np.float64(0.125),
+            "plan_iterations": np.int64(4),
+        }
+        cache.put("abc", payload)
+        path = str(tmp_path / "snap.json")
+        save_cache_snapshot(cache, path)
+        fresh: "LRUCache[str, dict]" = LRUCache(8)
+        assert load_cache_snapshot(fresh, path) == 1
+        restored = fresh.peek("abc")
+        assert restored["allocated_power"] == [1.5, 2.5, 0.25]
+        assert restored["wasted"] == 0.125
+        assert restored["plan_iterations"] == 4
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        cache: "LRUCache[str, dict]" = LRUCache(4)
+        cache.put("a", {"digest": "a"})
+        save_cache_snapshot(cache, str(tmp_path / "snap.json"))
+        assert glob.glob(str(tmp_path / ".plan-cache-*")) == []
+
+
+class TestSnapshotCorruption:
+    def test_truncated_json_is_ignored(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text('{"version": 1, "entries": [{"digest": "tru')
+        cache: "LRUCache[str, dict]" = LRUCache(4)
+        assert load_cache_snapshot(cache, str(path)) == 0
+        assert len(cache) == 0
+
+    def test_missing_file_is_a_cold_start(self, tmp_path):
+        cache: "LRUCache[str, dict]" = LRUCache(4)
+        assert load_cache_snapshot(cache, str(tmp_path / "nope.json")) == 0
+
+    def test_version_mismatch_is_ignored(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps({"version": SNAPSHOT_VERSION + 1, "entries": []}))
+        cache: "LRUCache[str, dict]" = LRUCache(4)
+        assert load_cache_snapshot(cache, str(path)) == 0
+
+    def test_digest_mismatch_drops_only_the_bad_entry(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": SNAPSHOT_VERSION,
+                    "entries": [
+                        {"digest": "good", "payload": {"digest": "good"}},
+                        # tampered: stored key disagrees with the payload
+                        {"digest": "evil", "payload": {"digest": "other"}},
+                        {"digest": 7, "payload": {"digest": "7"}},  # bad types
+                    ],
+                }
+            )
+        )
+        cache: "LRUCache[str, dict]" = LRUCache(4)
+        assert load_cache_snapshot(cache, str(path)) == 1
+        assert cache.peek("good") == {"digest": "good"}
+        assert cache.peek("evil") is None
+
+
+# ----------------------------------------------------------------------
+# snapshot persistence (daemon level)
+# ----------------------------------------------------------------------
+class TestSnapshotAcrossRestart:
+    def test_drain_writes_and_start_restores(self, tmp_path, frontier):
+        snap = str(tmp_path / "plan-cache.json")
+        with running_server(
+            tmp_path, frontier, snapshot_path=snap, snapshot_interval_s=0.0
+        ) as server:
+            with PlanClient(server.endpoint, timeout=30.0) as client:
+                first = client.plan("scenario1")
+        assert first["cached"] is False
+        assert os.path.exists(snap)  # the drain persisted the cache
+        with running_server(
+            tmp_path,
+            frontier,
+            address=f"unix:{tmp_path}/plan2.sock",
+            snapshot_path=snap,
+            snapshot_interval_s=0.0,
+        ) as server:
+            with PlanClient(server.endpoint, timeout=30.0) as client:
+                again = client.plan("scenario1")
+        # The restarted daemon is warm: same request, served from the
+        # restored cache, bit-identical payload.
+        assert again["cached"] is True
+        assert again["digest"] == first["digest"]
+        assert again["allocated_power"] == first["allocated_power"]
+        assert again["wasted"] == first["wasted"]
+
+    def test_corrupt_snapshot_only_costs_warmth(self, tmp_path, frontier):
+        snap = tmp_path / "plan-cache.json"
+        snap.write_text('{"version": 1, "entries": [{"dig')
+        with running_server(
+            tmp_path, frontier, snapshot_path=str(snap), snapshot_interval_s=0.0
+        ) as server:
+            with PlanClient(server.endpoint, timeout=30.0) as client:
+                served = client.plan("scenario1")
+        assert served["cached"] is False  # cold, but alive and correct
+        assert served["plan_feasible"] is True
+
+
+# ----------------------------------------------------------------------
+# degraded mode under a real pool break
+# ----------------------------------------------------------------------
+class TestDegradedMode:
+    def _wait_for_rebuild(self, client, *, timeout_s=60.0):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            supervisor = client.status()["supervisor"]
+            if supervisor["pool_rebuilds"] >= 1 and not supervisor["rebuilding"]:
+                return supervisor
+            time.sleep(0.05)
+        pytest.fail("worker pool was never rebuilt")
+
+    def test_worker_kill_degrades_then_recovers(self, tmp_path, frontier):
+        with running_server(
+            tmp_path,
+            frontier,
+            n_workers=2,
+            degraded_grace_s=60.0,  # the whole test runs inside the grace
+        ) as server:
+            with PlanClient(server.endpoint, timeout=120.0) as client:
+                warm = client.plan("scenario1", supply_factor=1.0)
+                assert warm.get("degraded") is None
+
+                pids = client.status()["server"]["worker_pids"]
+                assert len(pids) == 2
+                os.kill(pids[0], signal.SIGKILL)
+
+                # A fresh-factor request rides through the break: it may be
+                # deferred/probated while the pool is rebuilt, but it comes
+                # back computed, and bit-identical to the one-shot path.
+                across = client.plan(
+                    "scenario1", supply_factor=0.97, deadline_s=120.0
+                )
+                supervisor = self._wait_for_rebuild(client)
+                assert supervisor["pool_rebuilds"] >= 1
+                direct = run_cell(
+                    PlanRequest("scenario1", supply_factor=0.97).to_cell_spec(),
+                    frontier,
+                ).cell.result
+                if across.get("degraded"):
+                    # The break landed before the compute: a stale plan for
+                    # another factor of the same scenario was served instead.
+                    assert across["digest"] == warm["digest"]
+                else:
+                    assert across["wasted"] == direct.wasted
+                    assert across["allocated_power"] == list(direct.allocated_power)
+
+                # Inside the post-break grace window a cache miss is served
+                # stale from the same (scenario, policy, n_periods) family,
+                # flagged so clients can tell.
+                degraded = client.plan(
+                    "scenario1", supply_factor=0.93, deadline_s=120.0
+                )
+                assert degraded["degraded"] is True
+                assert degraded["cached"] is True
+                assert degraded["degraded_reason"]
+                assert server.metrics.counter("degraded_served") >= 1
+
+                status = client.status()
+                assert status["load"]["degraded"] is True

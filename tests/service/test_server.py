@@ -327,7 +327,7 @@ class TestDrain:
                 ServerConfig(address=address, metrics_interval_s=0.0),
                 frontier=frontier,
             )
-            with pytest.raises(RuntimeError, match="live server"):
+            with pytest.raises(OSError, match="live server"):
                 second.start()
             second.stop()  # releases the executor it built before failing to bind
             # the live server is unharmed: its socket survives and it answers

@@ -1,0 +1,78 @@
+"""The chaos harness's deterministic core: schedule building and the
+chaos-policy registration it injects behind ``serve --chaos-policies``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.batch import _POLICIES
+from repro.verify.chaos import (
+    INJECTION_KINDS,
+    ChaosConfig,
+    Injection,
+    build_injection_schedule,
+    register_chaos_policies,
+)
+
+
+class TestInjectionSchedule:
+    def test_same_inputs_same_schedule(self):
+        """Replayability is the whole point: a chaos failure under seed S
+        must be reproducible by rerunning seed S."""
+        a = build_injection_schedule(1, 20.0, 2)
+        b = build_injection_schedule(1, 20.0, 2)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        schedules = {build_injection_schedule(s, 60.0, 3) for s in range(8)}
+        assert len(schedules) > 1
+
+    def test_short_run_still_covers_every_kind(self):
+        for seed in range(5):
+            schedule = build_injection_schedule(seed, 10.0, 2)
+            assert {inj.kind for inj in schedule[:4]} == set(INJECTION_KINDS)
+
+    def test_bounds_and_ordering(self):
+        for seed in (0, 1, 7):
+            schedule = build_injection_schedule(seed, 120.0, 3)
+            times = [inj.at_s for inj in schedule]
+            assert times == sorted(times)
+            for inj in schedule:
+                assert 0.0 < inj.at_s < 120.0
+                assert inj.kind in INJECTION_KINDS
+                assert 0 <= inj.backend < 3
+
+    def test_longer_runs_append_injections(self):
+        short = build_injection_schedule(3, 20.0, 2)
+        long = build_injection_schedule(3, 120.0, 2)
+        assert len(long) > len(short)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            build_injection_schedule(1, 0.0, 2)
+        with pytest.raises(ValueError, match="n_backends"):
+            build_injection_schedule(1, 20.0, 0)
+
+    def test_injection_is_json_ready(self):
+        injection = Injection(at_s=1.5, kind="hung_cell", backend=0)
+        assert injection.as_dict() == {
+            "at_s": 1.5,
+            "kind": "hung_cell",
+            "backend": 0,
+        }
+
+
+class TestChaosPolicies:
+    def test_registration_is_idempotent(self):
+        register_chaos_policies()
+        register_chaos_policies()
+        assert "chaos_hang" in _POLICIES
+        assert "chaos_exit" in _POLICIES
+
+
+class TestChaosConfig:
+    def test_defaults_match_the_ci_smoke_profile(self):
+        config = ChaosConfig()
+        assert config.n_backends == 2
+        assert config.n_workers >= 2  # real process pools, or no pool breaks
+        assert config.duration_s > 0
